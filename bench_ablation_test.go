@@ -1,0 +1,110 @@
+package almostmix
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// branching factor β, the level-zero walk length, the G0 degree, and the
+// correlated-walk scheduler. Each reports the measured round metric the
+// choice influences, so `go test -bench Ablation` quantifies every knob.
+
+import (
+	"fmt"
+	"testing"
+
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/spectral"
+)
+
+// ablationRoute builds a hierarchy with the given tweaks and routes one
+// permutation, reporting the end-to-end rounds.
+func ablationRoute(b *testing.B, mutate func(*Params)) {
+	b.Helper()
+	g := NewRandomRegular(96, 8, 77)
+	tau, err := MixingTime(g, LazyWalk, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams()
+	p.TauMix = tau
+	mutate(&p)
+	var rounds, build int
+	for i := 0; i < b.N; i++ {
+		h, err := BuildHierarchy(g, p, 78)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := Route(h, PermutationWorkload(g, 79), uint64(80+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.BaseRounds
+		build = h.ConstructionRoundsBase()
+	}
+	b.ReportMetric(float64(rounds), "route-rounds")
+	b.ReportMetric(float64(build), "build-rounds")
+}
+
+// BenchmarkAblationBeta sweeps the branching factor: small β gives deep
+// hierarchies (compounded emulation factors), large β gives shallow ones
+// but quadratic portal work — the Lemma 3.4 trade-off.
+func BenchmarkAblationBeta(b *testing.B) {
+	for _, beta := range []int{3, 4, 8, 16} {
+		b.Run(fmt.Sprintf("beta=%d", beta), func(b *testing.B) {
+			ablationRoute(b, func(p *Params) {
+				p.Beta = beta
+				p.LeafSize = 12
+			})
+		})
+	}
+}
+
+// BenchmarkAblationWalkLen sweeps the level-zero walk length multiplier:
+// factor 1 gives shorter (cheaper) embedded paths, factor 3 more uniform
+// G0 endpoints.
+func BenchmarkAblationWalkLen(b *testing.B) {
+	for _, factor := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("factor=%d", factor), func(b *testing.B) {
+			ablationRoute(b, func(p *Params) { p.WalkLenFactor = factor })
+		})
+	}
+}
+
+// BenchmarkAblationDegreeG0 sweeps the G0 out-degree multiplier: more G0
+// edges buy capacity (lower routing congestion) at higher emulation cost
+// per G0 round.
+func BenchmarkAblationDegreeG0(b *testing.B) {
+	for _, c := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			ablationRoute(b, func(p *Params) {
+				p.DegreeG0C = c
+				p.WalksC = 3 * c // keep walks ≥ degree
+			})
+		})
+	}
+}
+
+// BenchmarkAblationCorrelatedWalks compares the independent Lemma 2.5
+// scheduler against the correlated dealing the paper defers to its full
+// version, at the k=1 regime where the additive log n term dominates.
+func BenchmarkAblationCorrelatedWalks(b *testing.B) {
+	g := NewRandomRegular(256, 4, 81)
+	sources := randomwalk.SourcesPerNode(randomwalk.UniformCountTimesDegree(g, 1))
+	const T = 50
+	for _, correlated := range []bool{false, true} {
+		name := "independent"
+		if correlated {
+			name = "correlated"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res := randomwalk.Run(g, sources, randomwalk.Config{
+					Kind:       spectral.Lazy,
+					Steps:      T,
+					Correlated: correlated,
+				}, rngutil.NewRand(uint64(82+i)))
+				rounds = res.Stats.Rounds
+			}
+			b.ReportMetric(float64(rounds)/T, "rounds/step")
+		})
+	}
+}

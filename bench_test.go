@@ -1,0 +1,331 @@
+package almostmix
+
+// One benchmark per experiment in DESIGN.md's index (E1–E11). Each bench
+// reports the measured CONGEST round counts as custom metrics, so
+// `go test -bench . -benchmem` regenerates the quantities EXPERIMENTS.md
+// discusses. Expensive shared structures (graphs, hierarchies) are built
+// once outside the timed loops.
+
+import (
+	"sync"
+	"testing"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/spectral"
+)
+
+type benchFx struct {
+	g *Graph
+	h *Hierarchy
+}
+
+var benchShared = sync.OnceValues(func() (*benchFx, error) {
+	g := NewRandomRegular(128, 8, 21)
+	g.AssignDistinctRandomWeights(NewRand(22))
+	p := DefaultParams()
+	// Benchmarks parameterize by the exact mixing time (cheap at this
+	// scale), matching the τ_mix the theorems are stated in.
+	tau, err := MixingTime(g, LazyWalk, 1_000_000)
+	if err != nil {
+		return nil, err
+	}
+	p.TauMix = tau
+	h, err := BuildHierarchy(g, p, 23)
+	if err != nil {
+		return nil, err
+	}
+	return &benchFx{g: g, h: h}, nil
+})
+
+func benchFixture(b *testing.B) *benchFx {
+	b.Helper()
+	f, err := benchShared()
+	if err != nil {
+		b.Fatalf("fixture: %v", err)
+	}
+	return f
+}
+
+// BenchmarkE1MSTHierarchical regenerates experiment E1 (Theorem 1.1): the
+// paper's MST on an expander, reporting measured base-graph rounds.
+func BenchmarkE1MSTHierarchical(b *testing.B) {
+	f := benchFixture(b)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := MST(f.h, uint64(100+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.AlgorithmRounds
+	}
+	b.ReportMetric(float64(rounds), "alg-rounds")
+}
+
+// BenchmarkE1MSTBaselineGHS is E1's flood-Borůvka competitor.
+func BenchmarkE1MSTBaselineGHS(b *testing.B) {
+	f := benchFixture(b)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := MSTBaselineGHS(f.g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE1MSTBaselineKP is E1's Õ(D+√n) competitor.
+func BenchmarkE1MSTBaselineKP(b *testing.B) {
+	f := benchFixture(b)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := MSTBaselineKP(f.g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE2RoutingPermutation regenerates E2 (Theorem 1.2): permutation
+// routing on the hierarchy.
+func BenchmarkE2RoutingPermutation(b *testing.B) {
+	f := benchFixture(b)
+	reqs := PermutationWorkload(f.g, 31)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		rep, err := Route(f.h, reqs, uint64(200+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.BaseRounds
+	}
+	b.ReportMetric(float64(rounds), "base-rounds")
+}
+
+// BenchmarkE2RoutingDegreeDemand is E2's full-rate d_G(v) demand.
+func BenchmarkE2RoutingDegreeDemand(b *testing.B) {
+	f := benchFixture(b)
+	reqs := DegreeWorkload(f.g, 32)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		rep, err := Route(f.h, reqs, uint64(300+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.BaseRounds
+	}
+	b.ReportMetric(float64(rounds), "base-rounds")
+}
+
+// BenchmarkE3MixingTimes regenerates E3 (Lemma 2.3): exact 2Δ-regular
+// mixing time vs the 8Δ²ln(n)/h² bound, on the torus family.
+func BenchmarkE3MixingTimes(b *testing.B) {
+	g := NewTorus(4, 4)
+	h := EdgeExpansion(g)
+	var tm int
+	for i := 0; i < b.N; i++ {
+		var err error
+		tm, err = MixingTime(g, RegularWalk, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tm), "tau-mix")
+	b.ReportMetric(spectral.Lemma23Bound(g, h), "lemma23-bound")
+}
+
+// BenchmarkE4ParallelWalks regenerates E4 (Lemmas 2.4/2.5): k·d(v) walks
+// per node, measured rounds per step.
+func BenchmarkE4ParallelWalks(b *testing.B) {
+	f := benchFixture(b)
+	const k, steps = 4, 50
+	sources := randomwalk.SourcesPerNode(randomwalk.UniformCountTimesDegree(f.g, k))
+	rng := rngutil.NewRand(41)
+	var stats randomwalk.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := randomwalk.Run(f.g, sources, randomwalk.Config{
+			Kind:  spectral.Lazy,
+			Steps: steps,
+		}, rng)
+		stats = res.Stats
+	}
+	b.ReportMetric(float64(stats.Rounds)/steps, "rounds/step")
+	b.ReportMetric(float64(stats.MaxTokensAtNode), "max-tokens")
+}
+
+// BenchmarkE5G0Emulation regenerates E5 (§3.1.1): the measured cost of
+// one G0 communication round in base rounds.
+func BenchmarkE5G0Emulation(b *testing.B) {
+	f := benchFixture(b)
+	var cost int
+	for i := 0; i < b.N; i++ {
+		cost = f.h.G0.EmulationRounds
+	}
+	b.ReportMetric(float64(cost), "g0-round-cost")
+	b.ReportMetric(float64(f.h.G0.ConstructionRounds), "g0-build-rounds")
+}
+
+// BenchmarkE6HierarchyBuild regenerates E6 (Lemmas 3.1–3.3, Figure 1):
+// full hierarchy construction, reporting measured construction rounds.
+func BenchmarkE6HierarchyBuild(b *testing.B) {
+	g := NewRandomRegular(96, 8, 51)
+	p := DefaultParams()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		h, err := BuildHierarchy(g, p, uint64(500+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = h.ConstructionRoundsBase()
+	}
+	b.ReportMetric(float64(rounds), "build-rounds")
+}
+
+// BenchmarkE7CliqueHierarchical regenerates E7 (Theorem 1.3).
+func BenchmarkE7CliqueHierarchical(b *testing.B) {
+	g, err := NewGnp(48, 0.3, 61)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := BuildHierarchy(g, DefaultParams(), 62)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := EmulateClique(h, uint64(600+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE7CliqueDirect is E7's shortest-path baseline.
+func BenchmarkE7CliqueDirect(b *testing.B) {
+	g, err := NewGnp(48, 0.3, 61)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := EmulateCliqueDirect(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE8RoutingRecursion regenerates E8 (Lemma 3.4): the per-level
+// decomposition of a routing run.
+func BenchmarkE8RoutingRecursion(b *testing.B) {
+	f := benchFixture(b)
+	reqs := PermutationWorkload(f.g, 71)
+	var leaf, hop int
+	for i := 0; i < b.N; i++ {
+		rep, err := Route(f.h, reqs, uint64(700+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaf = rep.LeafG0Rounds
+		hop = 0
+		for _, c := range rep.HopG0Rounds {
+			hop += c
+		}
+	}
+	b.ReportMetric(float64(leaf), "leaf-g0-rounds")
+	b.ReportMetric(float64(hop), "hop-g0-rounds")
+}
+
+// BenchmarkE9VirtualTreeAudit regenerates E9 (Lemma 4.1): depth and
+// degree invariants across an MST run.
+func BenchmarkE9VirtualTreeAudit(b *testing.B) {
+	f := benchFixture(b)
+	var depth int
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := MST(f.h, uint64(800+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		depth = res.MaxTreeDepth
+		ratio = res.MaxInDegRatio
+	}
+	b.ReportMetric(float64(depth), "max-tree-depth")
+	b.ReportMetric(ratio, "max-indeg-ratio")
+}
+
+// BenchmarkE10MinCut regenerates E10: tree-packing approximation vs
+// Stoer–Wagner on a planted-cut graph.
+func BenchmarkE10MinCut(b *testing.B) {
+	g := NewDumbbell(24, 4, 2, 81)
+	exact, _, err := ExactMinCut(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var approx int
+	for i := 0; i < b.N; i++ {
+		res, err := ApproxMinCut(g, 0, uint64(900+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		approx = res.CutSize
+	}
+	b.ReportMetric(float64(approx), "approx-cut")
+	b.ReportMetric(exact, "exact-cut")
+}
+
+// BenchmarkE11GnpExpansion regenerates E11: h(G) and Δ on G(n,p) samples.
+func BenchmarkE11GnpExpansion(b *testing.B) {
+	g, err := NewGnp(128, 0.1, 91)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var h float64
+	for i := 0; i < b.N; i++ {
+		h = EdgeExpansionEstimate(g)
+	}
+	b.ReportMetric(h, "h-sweep")
+	b.ReportMetric(float64(g.MaxDegree()), "max-degree")
+	b.ReportMetric(float64(g.N())*0.1, "np")
+}
+
+// BenchmarkE12ExactVsPaperAccounting regenerates E12: the measured slack
+// between the paper's per-level emulation charging and the true
+// end-to-end schedule of the same traffic.
+func BenchmarkE12ExactVsPaperAccounting(b *testing.B) {
+	f := benchFixture(b)
+	reqs := PermutationWorkload(f.g, 95)
+	var exact, paper, congestion, dilation int
+	for i := 0; i < b.N; i++ {
+		ex, err := RouteExact(f.h, reqs, uint64(950+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact = ex.ExactRounds
+		paper = ex.Paper.BaseRounds
+		congestion = ex.Congestion
+		dilation = ex.Dilation
+	}
+	b.ReportMetric(float64(exact), "exact-rounds")
+	b.ReportMetric(float64(paper), "paper-rounds")
+	b.ReportMetric(float64(paper)/float64(exact), "slack")
+	b.ReportMetric(float64(congestion), "congestion")
+	b.ReportMetric(float64(dilation), "dilation")
+}
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = graph.RandomRegular(256, 8, rngutil.NewRand(uint64(i)))
+	}
+}

@@ -1,0 +1,106 @@
+// Command mst regenerates experiments E1 (Theorem 1.1: MST in
+// τ_mix·2^O(√(log n·log log n)) rounds, against the flood-GHS and
+// Garay–Kutten–Peleg baselines) and E9 (Lemma 4.1: the virtual-tree depth
+// and degree invariants, via -audit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"almostmix/internal/embed"
+	"almostmix/internal/graph"
+	"almostmix/internal/harness"
+	"almostmix/internal/mst"
+	"almostmix/internal/mstbase"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/spectral"
+)
+
+func main() {
+	audit := flag.Bool("audit", false, "print the E9 per-iteration virtual-tree audit")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.Parse()
+	if err := run(*audit, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mst:", err)
+		os.Exit(1)
+	}
+}
+
+func run(audit bool, seed uint64) error {
+	instances := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"rr64d8", graph.RandomRegular(64, 8, rngutil.NewRand(seed))},
+		{"rr128d8", graph.RandomRegular(128, 8, rngutil.NewRand(seed+1))},
+		{"rr256d8", graph.RandomRegular(256, 8, rngutil.NewRand(seed+2))},
+		// Poor-expansion contrast rows: τ_mix is the dominating factor.
+		{"ring64", graph.Ring(64)},
+		{"lollipop32+12", graph.Lollipop(32, 12)},
+	}
+	t := harness.NewTable("E1 — Theorem 1.1: MST round counts",
+		"graph", "n", "τ_mix", "hier alg", "hier +build", "GHS", "KP", "weights agree")
+	var ns, hierR, ghsR, kpR []float64
+	for _, inst := range instances {
+		g := inst.g
+		g.AssignDistinctRandomWeights(rngutil.NewRand(seed + 7))
+		tau, err := spectral.MixingTime(g, spectral.Lazy, 5_000_000)
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		p := embed.DefaultParams()
+		p.TauMix = tau
+		h, err := embed.Build(g, p, rngutil.NewSource(seed+10))
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		res, err := mst.Run(h, rngutil.NewSource(seed+20))
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		ghs, err := mstbase.GHS(g)
+		if err != nil {
+			return err
+		}
+		kp, err := mstbase.KP(g)
+		if err != nil {
+			return err
+		}
+		_, want := mst.Kruskal(g)
+		agree := res.Weight == want && ghs.Weight == want && kp.Weight == want
+		t.AddRow(inst.name, g.N(), tau, res.AlgorithmRounds, res.Rounds,
+			ghs.Rounds, kp.Rounds, agree)
+		if inst.name[0] == 'r' && inst.name[1] == 'r' {
+			ns = append(ns, float64(g.N()))
+			hierR = append(hierR, float64(res.AlgorithmRounds))
+			ghsR = append(ghsR, float64(ghs.Rounds))
+			kpR = append(kpR, float64(kp.Rounds))
+		}
+
+		if audit && g.N() == 128 && inst.name == "rr128d8" {
+			printAudit(res)
+		}
+	}
+	fmt.Println(t)
+	fmt.Printf("expander scaling slopes (log-log, rounds vs n): hier %.2f, GHS %.2f, KP %.2f\n",
+		harness.LogLogSlope(ns, hierR), harness.LogLogSlope(ns, ghsR), harness.LogLogSlope(ns, kpR))
+	fmt.Println("Theorem 1.1's shape: the hierarchical MST's cost is governed by τ_mix")
+	fmt.Println("and polylogs (flat-ish slope), not by n or D; its constants dominate at")
+	fmt.Println("laptop n, so the observed crossover against Õ(D+√n) is extrapolated.")
+	return nil
+}
+
+func printAudit(res *mst.Result) {
+	t := harness.NewTable("E9 — Lemma 4.1 audit (rr128d8)",
+		"iter", "fragments", "merges", "tree depth", "balance waves",
+		"step rounds", "iter rounds", "max inDeg/d")
+	for i, it := range res.Iterations {
+		t.AddRow(i, it.Fragments, it.Merges, it.TreeDepth, it.BalanceWaves,
+			it.StepRounds, it.Rounds, it.MaxInDegRatio)
+	}
+	fmt.Println(t)
+	fmt.Printf("max tree depth ever: %d; max inDeg/d ratio ever: %.2f\n\n",
+		res.MaxTreeDepth, res.MaxInDegRatio)
+}

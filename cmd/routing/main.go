@@ -1,0 +1,112 @@
+// Command routing regenerates experiments E2 (Theorem 1.2: permutation
+// and full-rate routing in τ_mix·2^O(√(log n·log log n)) rounds) and E8
+// (Lemma 3.4: the per-level decomposition of the recursion). It sweeps
+// the network size on an expander family and, for contrast, reports one
+// poor-expansion graph where τ_mix (and hence routing) degrades.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"almostmix/internal/embed"
+	"almostmix/internal/graph"
+	"almostmix/internal/harness"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/route"
+	"almostmix/internal/spectral"
+)
+
+func main() {
+	levels := flag.Bool("levels", false, "print the E8 per-level decomposition for one run")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.Parse()
+
+	if err := run(*levels, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "routing:", err)
+		os.Exit(1)
+	}
+}
+
+type instance struct {
+	name string
+	g    *graph.Graph
+}
+
+func buildInstance(inst instance, seed uint64) (*embed.Hierarchy, int, error) {
+	tau, err := spectral.MixingTime(inst.g, spectral.Lazy, 5_000_000)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", inst.name, err)
+	}
+	p := embed.DefaultParams()
+	p.TauMix = tau
+	h, err := embed.Build(inst.g, p, rngutil.NewSource(seed))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", inst.name, err)
+	}
+	return h, tau, nil
+}
+
+func run(levels bool, seed uint64) error {
+	instances := []instance{
+		{"rr64d8", graph.RandomRegular(64, 8, rngutil.NewRand(seed))},
+		{"rr128d8", graph.RandomRegular(128, 8, rngutil.NewRand(seed+1))},
+		{"rr256d8", graph.RandomRegular(256, 8, rngutil.NewRand(seed+2))},
+		{"lollipop48+16", graph.Lollipop(48, 16)},
+	}
+	t := harness.NewTable("E2 — Theorem 1.2: permutation routing",
+		"graph", "n", "τ_mix", "packets", "prep", "G0 rounds", "base rounds", "base/τ")
+	td := harness.NewTable("E2 — Theorem 1.2: full-rate degree workload (d_G(v) packets per node)",
+		"graph", "n", "packets", "base rounds", "base/τ")
+	var ns, based []float64
+	for _, inst := range instances {
+		h, tau, err := buildInstance(inst, seed+10)
+		if err != nil {
+			return err
+		}
+		reqs := route.RandomPermutation(inst.g, rngutil.NewRand(seed+20))
+		rep, err := route.Route(h, reqs, rngutil.NewSource(seed+30))
+		if err != nil {
+			return err
+		}
+		t.AddRow(inst.name, inst.g.N(), tau, len(reqs), rep.PrepRounds,
+			rep.G0Rounds, rep.BaseRounds, float64(rep.BaseRounds)/float64(tau))
+
+		heavy := route.DegreeDemand(inst.g, rngutil.NewRand(seed+40))
+		repH, err := route.Route(h, heavy, rngutil.NewSource(seed+50))
+		if err != nil {
+			return err
+		}
+		td.AddRow(inst.name, inst.g.N(), len(heavy), repH.BaseRounds,
+			float64(repH.BaseRounds)/float64(tau))
+		if inst.name != "lollipop48+16" {
+			ns = append(ns, float64(inst.g.N()))
+			based = append(based, float64(rep.BaseRounds))
+		}
+
+		if levels && inst.g.N() == 128 {
+			printLevels(h, rep)
+		}
+	}
+	fmt.Println(t)
+	fmt.Println(td)
+	fmt.Printf("expander scaling: log-log slope of base rounds vs n = %.2f\n",
+		harness.LogLogSlope(ns, based))
+	fmt.Println("Theorem 1.2's shape: base/τ grows only polylogarithmically on the")
+	fmt.Println("expander family, while the lollipop's larger τ_mix dominates its cost.")
+	return nil
+}
+
+func printLevels(h *embed.Hierarchy, rep *route.Report) {
+	t := harness.NewTable("E8 — Lemma 3.4: routing cost decomposition (n=128)",
+		"component", "G0 rounds")
+	t.AddRow("leaf-level movement", rep.LeafG0Rounds)
+	for l, c := range rep.HopG0Rounds {
+		t.AddRow(fmt.Sprintf("portal hops at level %d", l+1), c)
+	}
+	t.AddRow("total", rep.G0Rounds)
+	fmt.Println(t)
+	fmt.Printf("max packets over a single portal edge: %d (Lemma 3.4 predicts O(log n))\n\n",
+		rep.MaxPortalLoad)
+}

@@ -1,0 +1,54 @@
+// Approximate minimum cut of a bottlenecked network (§4's min-cut
+// remark): a "dumbbell" of two healthy expander clusters joined by a few
+// bridge links — the classic datacenter-interconnect weak-spot shape. The
+// tree-packing approximation finds the bottleneck and is verified against
+// exact Stoer–Wagner.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"almostmix"
+)
+
+func main() {
+	// Two 24-node degree-4 expander clusters joined by 3 bridges.
+	g := almostmix.NewDumbbell(24, 4, 3, 17)
+	fmt.Printf("network: %d nodes, %d links, two clusters with 3 bridges\n",
+		g.N(), g.M())
+
+	exact, exactSide, err := almostmix.ExactMinCut(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := almostmix.ApproxMinCut(g, 0, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact min cut (Stoer–Wagner): %.0f links\n", exact)
+	fmt.Printf("tree-packing approximation:   %d links (%d trees packed)\n",
+		res.CutSize, res.TreesUsed)
+
+	sizeOf := func(side []bool) int {
+		c := 0
+		for _, in := range side {
+			if in {
+				c++
+			}
+		}
+		return c
+	}
+	fmt.Printf("cut sides: exact %d|%d nodes, approx %d|%d nodes\n",
+		sizeOf(exactSide), g.N()-sizeOf(exactSide),
+		sizeOf(res.Side), g.N()-sizeOf(res.Side))
+
+	if float64(res.CutSize) == exact {
+		fmt.Println("the approximation found the exact bottleneck ✓")
+	} else {
+		fmt.Printf("approximation ratio: %.2f\n", float64(res.CutSize)/exact)
+	}
+	fmt.Println("\ndistributed accounting: each packed tree is one hierarchical MST")
+	fmt.Println("computation (Theorem 1.1), so the whole cut approximation stays in")
+	fmt.Println("the τ_mix·2^O(√(log n·log log n)) round budget the paper states.")
+}

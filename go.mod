@@ -1,0 +1,3 @@
+module almostmix
+
+go 1.22

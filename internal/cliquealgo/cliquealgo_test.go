@@ -1,0 +1,129 @@
+package cliquealgo
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"almostmix/internal/embed"
+	"almostmix/internal/graph"
+	"almostmix/internal/mst"
+	"almostmix/internal/rngutil"
+)
+
+type fixture struct {
+	g *graph.Graph
+	h *embed.Hierarchy
+}
+
+var shared = sync.OnceValues(func() (*fixture, error) {
+	r := rngutil.NewRand(1)
+	g := graph.RandomRegular(48, 6, r)
+	g.AssignDistinctRandomWeights(r)
+	h, err := embed.Build(g, embed.DefaultParams(), rngutil.NewSource(2))
+	if err != nil {
+		return nil, err
+	}
+	return &fixture{g: g, h: h}, nil
+})
+
+func testFixture(t *testing.T) *fixture {
+	t.Helper()
+	f, err := shared()
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return f
+}
+
+func TestCliqueMSTMatchesKruskal(t *testing.T) {
+	f := testFixture(t)
+	res, err := MST(f.h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := mst.Kruskal(f.g)
+	if res.Weight != want {
+		t.Fatalf("clique MST weight %v, Kruskal %v", res.Weight, want)
+	}
+	if len(res.Edges) != f.g.N()-1 {
+		t.Fatalf("%d edges, want %d", len(res.Edges), f.g.N()-1)
+	}
+}
+
+func TestCliqueMSTRoundBudget(t *testing.T) {
+	f := testFixture(t)
+	res, err := MST(f.h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Borůvka halves fragments each iteration: ≤ 3·⌈log₂ n⌉ clique rounds.
+	logN := int(math.Ceil(math.Log2(float64(f.g.N()))))
+	if res.CliqueRounds > 3*logN {
+		t.Fatalf("clique rounds %d exceed 3·log n = %d", res.CliqueRounds, 3*logN)
+	}
+	if res.EmulatedRounds != res.CliqueRounds*res.PerCliqueRound {
+		t.Fatal("emulated-round accounting inconsistent")
+	}
+	if res.PerCliqueRound <= 0 {
+		t.Fatal("per-clique-round cost not positive")
+	}
+}
+
+func TestCliqueMSTDeterministic(t *testing.T) {
+	f := testFixture(t)
+	a, err := MST(f.h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MST(f.h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight != b.Weight || a.EmulatedRounds != b.EmulatedRounds {
+		t.Fatal("same seed, different run")
+	}
+}
+
+func TestSumAggregate(t *testing.T) {
+	f := testFixture(t)
+	values := make([]float64, f.g.N())
+	want := 0.0
+	for v := range values {
+		values[v] = float64(v * v)
+		want += values[v]
+	}
+	got, res, err := SumAggregate(f.h, values, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+	if res.CliqueRounds != 1 || res.EmulatedRounds != res.PerCliqueRound {
+		t.Fatalf("accounting: %+v", res)
+	}
+}
+
+func TestSumAggregateRejectsBadLength(t *testing.T) {
+	f := testFixture(t)
+	if _, _, err := SumAggregate(f.h, []float64{1, 2}, 7); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+}
+
+func TestUnionFindHelpers(t *testing.T) {
+	frag := []int{0, 1, 2, 3}
+	union(frag, 0, 1)
+	union(frag, 2, 3)
+	if find(frag, 1) != find(frag, 0) || find(frag, 3) != find(frag, 2) {
+		t.Fatal("union broken")
+	}
+	if find(frag, 0) == find(frag, 2) {
+		t.Fatal("premature merge")
+	}
+	union(frag, 1, 3)
+	if find(frag, 0) != find(frag, 3) {
+		t.Fatal("transitive union broken")
+	}
+}

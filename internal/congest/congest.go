@@ -1,0 +1,287 @@
+// Package congest implements the standard CONGEST model of distributed
+// computation as a discrete-time synchronous simulator.
+//
+// The network is an n-node graph; per synchronous round every node may
+// send one O(log n)-bit message over each incident edge. Algorithms are
+// written as node programs (the Program interface): per round each node
+// reads the messages delivered on its ports and queues at most one
+// outgoing message per port. The simulator enforces the per-edge capacity,
+// counts rounds and messages, and detects termination.
+//
+// The simulator is the measurement instrument for all experiments: the
+// paper's complexity claims are statements about the number of rounds this
+// model needs, so round counts reported by Network.Run are the quantities
+// compared against the theorems.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+// Message is an opaque O(log n)-bit payload. Programs exchange small
+// structs or scalars; the simulator counts one message per send.
+type Message any
+
+// Inbound is a message delivered to a node: the port it arrived on and the
+// ID of the sending neighbor.
+type Inbound struct {
+	Port    int
+	From    int
+	Payload Message
+}
+
+// Ctx is the per-node view of the network handed to programs. It exposes
+// exactly the knowledge the CONGEST model grants a node: its ID, its
+// incident edges (ports) with the IDs of the neighbors across them, the
+// total node count, and a private random stream.
+type Ctx struct {
+	id     int
+	net    *Network
+	rng    *rand.Rand
+	outbox []Message // one slot per port; nil = no send this round
+	sent   []bool
+	halted bool
+	rounds int // rounds observed by this node (== network rounds)
+}
+
+// ID returns the node's identifier.
+func (c *Ctx) ID() int { return c.id }
+
+// N returns the number of nodes in the network (globally known, as usual
+// in CONGEST algorithms that assume knowledge of n).
+func (c *Ctx) N() int { return c.net.g.N() }
+
+// Degree returns the node's degree (number of ports).
+func (c *Ctx) Degree() int { return c.net.g.Degree(c.id) }
+
+// NeighborID returns the ID of the neighbor across the given port.
+func (c *Ctx) NeighborID(port int) int { return c.net.g.Neighbors(c.id)[port].To }
+
+// EdgeID returns the graph edge identifier behind the given port.
+func (c *Ctx) EdgeID(port int) int { return c.net.g.Neighbors(c.id)[port].EdgeID }
+
+// EdgeWeight returns the weight of the edge behind the given port.
+func (c *Ctx) EdgeWeight(port int) float64 {
+	return c.net.g.Edge(c.net.g.Neighbors(c.id)[port].EdgeID).W
+}
+
+// Rand returns the node's private deterministic random stream.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// Round returns the current round number (starting at 0 for Init).
+func (c *Ctx) Round() int { return c.rounds }
+
+// Send queues a message on the given port for delivery next round. At
+// most one message may be sent per port per round; a second send on the
+// same port panics, since it is a bug in the node program.
+func (c *Ctx) Send(port int, payload Message) {
+	if port < 0 || port >= c.Degree() {
+		panic(fmt.Sprintf("congest: node %d sends on invalid port %d", c.id, port))
+	}
+	if c.sent[port] {
+		panic(fmt.Sprintf("congest: node %d sends twice on port %d in one round", c.id, port))
+	}
+	c.sent[port] = true
+	c.outbox[port] = payload
+	c.net.messages++
+}
+
+// Broadcast queues the same message on every port.
+func (c *Ctx) Broadcast(payload Message) {
+	for p := 0; p < c.Degree(); p++ {
+		c.Send(p, payload)
+	}
+}
+
+// Halt marks the node as finished. A halted node's Step is no longer
+// called; the network terminates when every node has halted. Delivery to
+// halted nodes still occurs but the messages are dropped.
+func (c *Ctx) Halt() { c.halted = true }
+
+// Program is a node algorithm. Init runs once before round 0; Step runs
+// every round with the messages delivered in that round.
+type Program interface {
+	Init(ctx *Ctx)
+	Step(ctx *Ctx, inbox []Inbound)
+}
+
+// Network simulates a CONGEST execution of one Program replicated on all
+// nodes of a graph.
+type Network struct {
+	g        *graph.Graph
+	ctxs     []*Ctx
+	programs []Program
+	// portOf[v] maps neighbor u -> port index at v, to route deliveries.
+	portOf   []map[int]int
+	rounds   int
+	messages int
+}
+
+// NewNetwork builds a network over g where node v runs programs[v].
+// Programs may share state only through messages; the simulator never
+// copies payloads, so programs must not mutate received payloads.
+func NewNetwork(g *graph.Graph, programs []Program, src *rngutil.Source) *Network {
+	if len(programs) != g.N() {
+		panic(fmt.Sprintf("congest: %d programs for %d nodes", len(programs), g.N()))
+	}
+	net := &Network{
+		g:        g,
+		ctxs:     make([]*Ctx, g.N()),
+		programs: programs,
+		portOf:   make([]map[int]int, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		deg := g.Degree(v)
+		net.ctxs[v] = &Ctx{
+			id:     v,
+			net:    net,
+			rng:    src.Stream("node", uint64(v)),
+			outbox: make([]Message, deg),
+			sent:   make([]bool, deg),
+		}
+		net.portOf[v] = make(map[int]int, deg)
+		for p, h := range g.Neighbors(v) {
+			net.portOf[v][h.To] = p
+		}
+	}
+	return net
+}
+
+// NewUniformNetwork builds a network where every node runs a fresh program
+// produced by factory.
+func NewUniformNetwork(g *graph.Graph, factory func(v int) Program, src *rngutil.Source) *Network {
+	programs := make([]Program, g.N())
+	for v := range programs {
+		programs[v] = factory(v)
+	}
+	return NewNetwork(g, programs, src)
+}
+
+// Rounds returns the number of rounds executed so far.
+func (n *Network) Rounds() int { return n.rounds }
+
+// Messages returns the total number of messages sent so far.
+func (n *Network) Messages() int { return n.messages }
+
+// Graph returns the underlying graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// ErrRoundLimit is returned by Run when maxRounds elapse before all nodes
+// halt.
+var ErrRoundLimit = errors.New("congest: round limit reached before all nodes halted")
+
+// Run initializes all programs and executes rounds until every node halts
+// or maxRounds elapse. It returns the number of rounds executed.
+func (n *Network) Run(maxRounds int) (int, error) {
+	for v, prog := range n.programs {
+		prog.Init(n.ctxs[v])
+	}
+	inboxes := make([][]Inbound, n.g.N())
+	for r := 0; r < maxRounds; r++ {
+		if n.allHalted() {
+			return n.rounds, nil
+		}
+		// Deliver round r−1's sends and clear outboxes.
+		for v := range inboxes {
+			inboxes[v] = inboxes[v][:0]
+		}
+		for v, ctx := range n.ctxs {
+			for p, payload := range ctx.outbox {
+				if !ctx.sent[p] {
+					continue
+				}
+				u := n.g.Neighbors(v)[p].To
+				if !n.ctxs[u].halted {
+					inboxes[u] = append(inboxes[u], Inbound{
+						Port:    n.portOf[u][v],
+						From:    v,
+						Payload: payload,
+					})
+				}
+				ctx.outbox[p] = nil
+				ctx.sent[p] = false
+			}
+		}
+		n.rounds++
+		for v, prog := range n.programs {
+			ctx := n.ctxs[v]
+			if ctx.halted {
+				continue
+			}
+			ctx.rounds = n.rounds
+			prog.Step(ctx, inboxes[v])
+		}
+	}
+	if n.allHalted() {
+		return n.rounds, nil
+	}
+	return n.rounds, fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit)
+}
+
+// RunUntilQuiet runs like Run but also terminates (successfully) after a
+// round in which no node sent any message, which is the natural stopping
+// condition for flooding-style algorithms whose nodes cannot detect global
+// termination locally.
+func (n *Network) RunUntilQuiet(maxRounds int) (int, error) {
+	for v, prog := range n.programs {
+		prog.Init(n.ctxs[v])
+	}
+	inboxes := make([][]Inbound, n.g.N())
+	for r := 0; r < maxRounds; r++ {
+		if n.allHalted() {
+			return n.rounds, nil
+		}
+		delivered := 0
+		for v := range inboxes {
+			inboxes[v] = inboxes[v][:0]
+		}
+		for v, ctx := range n.ctxs {
+			for p, payload := range ctx.outbox {
+				if !ctx.sent[p] {
+					continue
+				}
+				u := n.g.Neighbors(v)[p].To
+				if !n.ctxs[u].halted {
+					inboxes[u] = append(inboxes[u], Inbound{
+						Port:    n.portOf[u][v],
+						From:    v,
+						Payload: payload,
+					})
+					delivered++
+				}
+				ctx.outbox[p] = nil
+				ctx.sent[p] = false
+			}
+		}
+		if r > 0 && delivered == 0 {
+			return n.rounds, nil
+		}
+		n.rounds++
+		for v, prog := range n.programs {
+			ctx := n.ctxs[v]
+			if ctx.halted {
+				continue
+			}
+			ctx.rounds = n.rounds
+			prog.Step(ctx, inboxes[v])
+		}
+	}
+	if n.allHalted() {
+		return n.rounds, nil
+	}
+	return n.rounds, fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit)
+}
+
+func (n *Network) allHalted() bool {
+	for _, ctx := range n.ctxs {
+		if !ctx.halted {
+			return false
+		}
+	}
+	return true
+}

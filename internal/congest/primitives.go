@@ -1,0 +1,237 @@
+package congest
+
+import (
+	"fmt"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+// BFSResult describes a breadth-first spanning tree computed distributedly.
+type BFSResult struct {
+	Root   int
+	Parent []int // Parent[v] = BFS parent, -1 for the root
+	Dist   []int // Dist[v] = hop distance from the root
+	Rounds int   // CONGEST rounds consumed
+}
+
+// Depth returns the depth of the BFS tree (= eccentricity of the root).
+func (r *BFSResult) Depth() int {
+	depth := 0
+	for _, d := range r.Dist {
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+type bfsProgram struct {
+	root   bool
+	dist   int
+	parent int
+	res    *BFSResult
+}
+
+type bfsToken struct{ dist int }
+
+func (p *bfsProgram) Init(ctx *Ctx) {
+	p.dist = -1
+	p.parent = -1
+	if p.root {
+		p.dist = 0
+		ctx.Broadcast(bfsToken{dist: 0})
+	}
+}
+
+func (p *bfsProgram) Step(ctx *Ctx, inbox []Inbound) {
+	if p.dist >= 0 {
+		p.record(ctx)
+		return
+	}
+	for _, in := range inbox {
+		tok, ok := in.Payload.(bfsToken)
+		if !ok {
+			panic(fmt.Sprintf("congest: BFS node %d got %T", ctx.ID(), in.Payload))
+		}
+		if p.dist < 0 {
+			p.dist = tok.dist + 1
+			p.parent = in.From
+			ctx.Broadcast(bfsToken{dist: p.dist})
+		}
+	}
+	if p.dist >= 0 {
+		p.record(ctx)
+	}
+}
+
+func (p *bfsProgram) record(ctx *Ctx) {
+	p.res.Parent[ctx.ID()] = p.parent
+	p.res.Dist[ctx.ID()] = p.dist
+	ctx.Halt()
+}
+
+// BFS builds a BFS tree rooted at root by distributed flooding. It costs
+// O(D) rounds and returns the tree along with the measured round count.
+func BFS(g *graph.Graph, root int, src *rngutil.Source) (*BFSResult, error) {
+	res := &BFSResult{
+		Root:   root,
+		Parent: make([]int, g.N()),
+		Dist:   make([]int, g.N()),
+	}
+	for v := range res.Parent {
+		res.Parent[v] = -1
+		res.Dist[v] = -1
+	}
+	net := NewUniformNetwork(g, func(v int) Program {
+		return &bfsProgram{root: v == root, res: res}
+	}, src)
+	rounds, err := net.RunUntilQuiet(2*g.N() + 4)
+	if err != nil {
+		return nil, fmt.Errorf("bfs: %w", err)
+	}
+	res.Rounds = rounds
+	return res, nil
+}
+
+type leaderProgram struct {
+	best   int
+	result []int
+}
+
+func (p *leaderProgram) Init(ctx *Ctx) {
+	p.best = ctx.ID()
+	ctx.Broadcast(p.best)
+}
+
+func (p *leaderProgram) Step(ctx *Ctx, inbox []Inbound) {
+	improved := false
+	for _, in := range inbox {
+		id, ok := in.Payload.(int)
+		if !ok {
+			panic(fmt.Sprintf("congest: leader node %d got %T", ctx.ID(), in.Payload))
+		}
+		if id > p.best {
+			p.best = id
+			improved = true
+		}
+	}
+	if improved {
+		ctx.Broadcast(p.best)
+	}
+	p.result[ctx.ID()] = p.best
+}
+
+// ElectLeader floods the maximum node ID; every node learns the leader.
+// It costs O(D) rounds (with quiescence detection) and returns the leader
+// ID and the measured round count.
+func ElectLeader(g *graph.Graph, src *rngutil.Source) (leader, rounds int, err error) {
+	result := make([]int, g.N())
+	net := NewUniformNetwork(g, func(v int) Program {
+		return &leaderProgram{result: result}
+	}, src)
+	rounds, err = net.RunUntilQuiet(2*g.N() + 4)
+	if err != nil {
+		return 0, rounds, fmt.Errorf("leader election: %w", err)
+	}
+	leader = result[0]
+	for v, got := range result {
+		if got != leader {
+			return 0, rounds, fmt.Errorf("leader election: node %d decided %d, node 0 decided %d", v, got, leader)
+		}
+	}
+	return leader, rounds, nil
+}
+
+// BroadcastFrom floods a value from the root; every node learns it. The
+// returned rounds count measures the flood. The value must fit in one
+// CONGEST message (O(log n) bits).
+func BroadcastFrom(g *graph.Graph, root int, value Message, src *rngutil.Source) (values []Message, rounds int, err error) {
+	values = make([]Message, g.N())
+	net := NewUniformNetwork(g, func(v int) Program {
+		return &floodProgram{root: v == root, value: value, out: values}
+	}, src)
+	rounds, err = net.RunUntilQuiet(2*g.N() + 4)
+	if err != nil {
+		return nil, rounds, fmt.Errorf("broadcast: %w", err)
+	}
+	return values, rounds, nil
+}
+
+type floodProgram struct {
+	root  bool
+	value Message
+	got   bool
+	out   []Message
+}
+
+func (p *floodProgram) Init(ctx *Ctx) {
+	if p.root {
+		p.got = true
+		p.out[ctx.ID()] = p.value
+		ctx.Broadcast(p.value)
+	}
+}
+
+func (p *floodProgram) Step(ctx *Ctx, inbox []Inbound) {
+	if p.got {
+		ctx.Halt()
+		return
+	}
+	if len(inbox) > 0 {
+		p.got = true
+		p.out[ctx.ID()] = inbox[0].Payload
+		ctx.Broadcast(inbox[0].Payload)
+		ctx.Halt()
+	}
+}
+
+// ConvergecastSum computes the sum of per-node float values up a BFS tree
+// to the root, distributedly, and returns the total (as known by the
+// root) plus the measured round count.
+func ConvergecastSum(g *graph.Graph, tree *BFSResult, values []float64, src *rngutil.Source) (float64, int, error) {
+	depth := tree.Depth()
+	totals := make([]float64, g.N())
+	net := NewUniformNetwork(g, func(v int) Program {
+		return &sumProgram{tree: tree, depth: depth, value: values[v], totals: totals}
+	}, src)
+	rounds, err := net.Run(depth + 2)
+	if err != nil {
+		return 0, rounds, fmt.Errorf("convergecast: %w", err)
+	}
+	return totals[tree.Root], rounds, nil
+}
+
+type sumProgram struct {
+	tree   *BFSResult
+	depth  int
+	value  float64
+	acc    float64
+	totals []float64
+}
+
+func (p *sumProgram) Init(_ *Ctx) { p.acc = p.value }
+
+func (p *sumProgram) Step(ctx *Ctx, inbox []Inbound) {
+	for _, in := range inbox {
+		p.acc += in.Payload.(float64)
+	}
+	v := ctx.ID()
+	// Level ℓ nodes forward to their parents in round depth−ℓ+1, so each
+	// node receives all children's partial sums before it forwards.
+	sendRound := p.depth - p.tree.Dist[v] + 1
+	switch {
+	case ctx.Round() == sendRound && p.tree.Parent[v] >= 0:
+		for port := 0; port < ctx.Degree(); port++ {
+			if ctx.NeighborID(port) == p.tree.Parent[v] {
+				ctx.Send(port, p.acc)
+				break
+			}
+		}
+		p.totals[v] = p.acc
+		ctx.Halt()
+	case ctx.Round() > sendRound:
+		p.totals[v] = p.acc
+		ctx.Halt()
+	}
+}

@@ -1,0 +1,195 @@
+package embed
+
+import (
+	"fmt"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/kwise"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/spectral"
+)
+
+// Hierarchy is the complete hierarchical routing structure of §3.1: the
+// virtual-node mapping, the shared partition hash, the overlays G0..Gk,
+// and the per-level portal tables, together with the measured construction
+// and emulation costs.
+type Hierarchy struct {
+	Base    *graph.Graph
+	VM      *VirtualMap
+	Hash    *kwise.Family
+	Beta    int
+	Levels  int // k: partition levels; overlays are G0..G_Levels
+	TauMix  int // lazy mixing time of the base graph used for G0 walks
+	G0      *Overlay
+	Upper   []*Overlay     // Upper[l-1] = G_l
+	Portals []*PortalTable // Portals[l-1] = portals at level l
+	// Resolved records the concrete parameter values used.
+	Resolved ResolvedParams
+}
+
+// ResolvedParams is the public snapshot of the concrete values a Build
+// resolved from its Params.
+type ResolvedParams struct {
+	Beta                int
+	WalksPerVirtualNode int
+	DegreeG0            int
+	OverlayDegree       int
+	WalkLen             int
+	LeafSize            int
+	HashIndependence    int
+	Levels              int
+}
+
+// Build constructs the full hierarchy on base graph g. The mixing time is
+// taken from p.TauMix if set, otherwise estimated spectrally. All
+// randomness derives from src, so builds are reproducible.
+func Build(g *graph.Graph, p Params, src *rngutil.Source) (*Hierarchy, error) {
+	r, err := p.resolve(g)
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("embed: base graph disconnected: %w", graph.ErrDisconnected)
+	}
+	tau := p.TauMix
+	if tau == 0 {
+		tau = spectral.MixingTimeEstimate(g, spectral.Lazy)
+	}
+
+	vm := NewVirtualMap(g)
+	// The leader draws the Θ(log² n) shared bits; conceptually they are
+	// broadcast to all nodes (O(D·log n) rounds), after which every node
+	// evaluates the same hash.
+	hash := kwise.New(r.hashW, src.Stream("partition-hash", 0))
+
+	h := &Hierarchy{
+		Base:   g,
+		VM:     vm,
+		Hash:   hash,
+		Beta:   r.beta,
+		Levels: r.levels,
+		TauMix: tau,
+		Resolved: ResolvedParams{
+			Beta:                r.beta,
+			WalksPerVirtualNode: r.walksPerVNode,
+			DegreeG0:            r.degreeG0,
+			OverlayDegree:       r.overlayDegree,
+			WalkLen:             r.walkLenFactor * tau,
+			LeafSize:            r.leafSize,
+			HashIndependence:    r.hashW,
+			Levels:              r.levels,
+		},
+	}
+
+	h.G0, err = buildG0(g, vm, r, tau, src.Stream("g0", 0))
+	if err != nil {
+		return nil, err
+	}
+
+	digits := computeDigits(vm, hash, r.beta, r.levels)
+	below := h.G0
+	for level := 1; level <= r.levels; level++ {
+		overlay, err := buildLevel(level, below, digits[level-1], r, src.Stream("level", uint64(level)))
+		if err != nil {
+			return nil, err
+		}
+		portals, err := buildPortals(overlay, below, r.beta, src.Stream("portals", uint64(level)))
+		if err != nil {
+			return nil, err
+		}
+		h.Upper = append(h.Upper, overlay)
+		h.Portals = append(h.Portals, portals)
+		below = overlay
+	}
+	return h, nil
+}
+
+// Overlay returns G_level (level 0 = G0).
+func (h *Hierarchy) Overlay(level int) *Overlay {
+	if level == 0 {
+		return h.G0
+	}
+	return h.Upper[level-1]
+}
+
+// PortalsAt returns the portal table of the given level (1..Levels).
+func (h *Hierarchy) PortalsAt(level int) *PortalTable { return h.Portals[level-1] }
+
+// EmulationToG0 returns the measured cost, in G0 rounds, of one round of
+// G_level: the product of per-level emulation factors (Lemma 3.2's
+// (log n)^{O(i)} quantity, here measured instead of assumed).
+func (h *Hierarchy) EmulationToG0(level int) int {
+	cost := 1
+	for l := 1; l <= level; l++ {
+		cost *= h.Upper[l-1].EmulationRounds
+	}
+	return cost
+}
+
+// EmulationToBase returns the measured cost, in base-graph rounds, of one
+// round of G_level.
+func (h *Hierarchy) EmulationToBase(level int) int {
+	return h.EmulationToG0(level) * h.G0.EmulationRounds
+}
+
+// ConstructionRoundsBase totals the measured construction cost of all
+// levels, expressed in base-graph rounds.
+func (h *Hierarchy) ConstructionRoundsBase() int {
+	total := h.G0.ConstructionRounds
+	for l := 1; l <= h.Levels; l++ {
+		total += h.Upper[l-1].ConstructionRounds * h.EmulationToBase(l-1)
+	}
+	return total
+}
+
+// DigitAt returns vid's partition digit at the given level (1..Levels).
+func (h *Hierarchy) DigitAt(vid int32, level int) int32 {
+	return h.Overlay(level).Digit[vid]
+}
+
+// LeafPart returns vid's part index at the deepest level.
+func (h *Hierarchy) LeafPart(vid int32) int32 {
+	return h.Overlay(h.Levels).PartOf[vid]
+}
+
+// DigitsOfID computes the partition digits of an encoded virtual-node
+// identity without consulting the tables — this is property (P2): any node
+// can compute any other node's position from its ID alone.
+func (h *Hierarchy) DigitsOfID(encoded uint64) []int {
+	return h.Hash.LeafLabel(encoded, h.Beta, h.Levels).Digits
+}
+
+// Validate checks structural invariants of the whole hierarchy: embedded
+// paths are walks of the right level, endpoints match, parts refine, and
+// labels agree with the shared hash. Intended for tests and audits.
+func (h *Hierarchy) Validate() error {
+	identity := func(vid int32) int32 { return vid }
+	toOwner := func(vid int32) int32 { return int32(h.VM.Owner(vid)) }
+	if err := h.G0.Validate(func(a, b int32) bool { return h.Base.HasEdge(int(a), int(b)) }, toOwner); err != nil {
+		return err
+	}
+	below := h.G0
+	for l := 1; l <= h.Levels; l++ {
+		o := h.Overlay(l)
+		if err := o.Validate(func(a, b int32) bool { return below.Graph.HasEdge(int(a), int(b)) }, identity); err != nil {
+			return err
+		}
+		for vid := 0; vid < h.VM.Count(); vid++ {
+			want := h.DigitsOfID(h.VM.EncodedID(int32(vid)))[l-1]
+			if int(o.Digit[vid]) != want {
+				return fmt.Errorf("embed: vid %d level %d digit %d != hash %d", vid, l, o.Digit[vid], want)
+			}
+			if o.PartOf[vid] != below.PartOf[vid]*int32(h.Beta)+o.Digit[vid] {
+				return fmt.Errorf("embed: vid %d level %d part does not refine parent", vid, l)
+			}
+		}
+		// Overlay edges must connect nodes of the same part.
+		for _, e := range o.Graph.Edges() {
+			if o.PartOf[e.U] != o.PartOf[e.V] {
+				return fmt.Errorf("embed: level %d edge (%d,%d) crosses parts", l, e.U, e.V)
+			}
+		}
+		below = o
+	}
+	return nil
+}

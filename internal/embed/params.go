@@ -1,0 +1,198 @@
+// Package embed builds the paper's hierarchical embedding of random
+// graphs (§3.1): the level-zero Erdős–Rényi-style overlay G0 on 2m virtual
+// nodes, the recursive β-ary partition with per-part random graphs
+// G1..Gk, and the portals used to hop packets between sibling parts.
+//
+// Every overlay edge stores the path (in the level below) along which it
+// was embedded, so higher-level communication expands into measured
+// store-and-forward schedules rather than assumed asymptotic costs.
+package embed
+
+import (
+	"fmt"
+	"math"
+
+	"almostmix/internal/graph"
+)
+
+// Params configures the hierarchical embedding. The zero value is not
+// valid; use DefaultParams and override fields as needed.
+//
+// The paper's asymptotic constants (200·log n walks, 100·log n overlay
+// degree, β = 2^Θ(√(log n·log log n))) exceed practical sizes at
+// laptop-scale n, so the defaults keep the paper's formulas with smaller
+// leading constants; every experiment records the parameter set used.
+type Params struct {
+	// Beta is the partition branching factor β. Zero selects the
+	// paper's formula 2^⌈√(log₂ n · log₂ log₂ n)⌉ clamped to
+	// [MinBeta, MaxBeta].
+	Beta int
+	// MinBeta/MaxBeta clamp the automatic β choice.
+	MinBeta, MaxBeta int
+	// WalksPerVirtualNode is the number of level-zero random walks
+	// started per virtual node (paper: 200·log n). Zero selects
+	// WalksC·log₂ n.
+	WalksPerVirtualNode int
+	// WalksC is the multiplier for the automatic walk count.
+	WalksC int
+	// DegreeG0 is the number of outgoing G0 neighbors kept per virtual
+	// node (paper: 100·log n). Zero selects DegreeG0C·log₂ n.
+	DegreeG0 int
+	// DegreeG0C is the multiplier for the automatic G0 degree.
+	DegreeG0C int
+	// OverlayDegree is the number of same-part neighbors each node
+	// keeps at levels ≥ 1 (paper: Θ(log n)). Zero selects
+	// 2·⌈log₂ 2m⌉.
+	OverlayDegree int
+	// WalkLenFactor multiplies the mixing time for level-zero walks
+	// (the Lemma 3.1 remark suggests at least 2).
+	WalkLenFactor int
+	// LeafSize stops the recursion once parts are at most this big
+	// (paper: O(log n)). Zero selects 4·⌈log₂ 2m⌉.
+	LeafSize int
+	// HashIndependence is the W of the W-wise independent partition
+	// hash. Zero selects ⌈log₂ 2m⌉.
+	HashIndependence int
+	// TauMix overrides the base-graph lazy mixing time; zero computes a
+	// spectral estimate (exact computation is exposed separately in
+	// internal/spectral for experiments that can afford it).
+	TauMix int
+	// SuccessMargin multiplies the expected number of walks needed at
+	// levels ≥ 1 so that enough walks succeed w.h.p.
+	SuccessMargin float64
+}
+
+// DefaultParams returns the parameter set used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		MinBeta:       4,
+		MaxBeta:       16,
+		WalksC:        6,
+		DegreeG0C:     2,
+		WalkLenFactor: 2,
+		SuccessMargin: 2.5,
+	}
+}
+
+// log2ceil returns ⌈log₂ x⌉ for x ≥ 1.
+func log2ceil(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(x))))
+}
+
+// resolved holds the concrete values derived from Params for a given
+// graph.
+type resolved struct {
+	beta          int
+	walksPerVNode int
+	degreeG0      int
+	overlayDegree int
+	walkLenFactor int
+	leafSize      int
+	hashW         int
+	levels        int // k: number of partition levels (≥ 1)
+	successMargin float64
+}
+
+// resolve turns Params into concrete values for graph g.
+func (p Params) resolve(g *graph.Graph) (resolved, error) {
+	n, m2 := g.N(), 2*g.M()
+	if n < 2 || m2 == 0 {
+		return resolved{}, fmt.Errorf("embed: graph too small (n=%d, m=%d)", n, g.M())
+	}
+	logN := log2ceil(n)
+	logM2 := log2ceil(m2)
+	r := resolved{
+		beta:          p.Beta,
+		walksPerVNode: p.WalksPerVirtualNode,
+		degreeG0:      p.DegreeG0,
+		overlayDegree: p.OverlayDegree,
+		walkLenFactor: p.WalkLenFactor,
+		leafSize:      p.LeafSize,
+		hashW:         p.HashIndependence,
+		successMargin: p.SuccessMargin,
+	}
+	if r.beta == 0 {
+		loglog := math.Log2(math.Max(2, float64(logN)))
+		exp := math.Ceil(math.Sqrt(float64(logN) * loglog))
+		beta := 1 << int(exp)
+		minB, maxB := p.MinBeta, p.MaxBeta
+		if minB == 0 {
+			minB = 4
+		}
+		if maxB == 0 {
+			maxB = 16
+		}
+		if beta < minB {
+			beta = minB
+		}
+		if beta > maxB {
+			beta = maxB
+		}
+		r.beta = beta
+	}
+	if r.beta < 2 {
+		return resolved{}, fmt.Errorf("embed: beta must be >= 2, got %d", r.beta)
+	}
+	// The paper's analysis needs β ≤ √m (Lemma 3.4); clamp so sibling
+	// parts always share overlay edges.
+	if rootM := int(math.Sqrt(float64(m2) / 2)); r.beta > rootM {
+		r.beta = maxInt(2, rootM)
+	}
+	if r.walksPerVNode == 0 {
+		c := p.WalksC
+		if c == 0 {
+			c = 6
+		}
+		r.walksPerVNode = c * maxInt(1, logN)
+	}
+	if r.degreeG0 == 0 {
+		c := p.DegreeG0C
+		if c == 0 {
+			c = 2
+		}
+		r.degreeG0 = c * maxInt(1, logN)
+	}
+	if r.degreeG0 > r.walksPerVNode {
+		return resolved{}, fmt.Errorf("embed: degreeG0 %d exceeds walks per node %d", r.degreeG0, r.walksPerVNode)
+	}
+	if r.overlayDegree == 0 {
+		r.overlayDegree = 2 * maxInt(2, logM2)
+	}
+	if r.leafSize == 0 {
+		r.leafSize = 4 * maxInt(2, logM2)
+	}
+	if r.hashW == 0 {
+		r.hashW = maxInt(2, logM2)
+	}
+	if r.walkLenFactor == 0 {
+		r.walkLenFactor = 2
+	}
+	if r.successMargin == 0 {
+		r.successMargin = 2.5
+	}
+	// Number of levels: split while the children stay at least
+	// max(leafSize, 2β) — below ≈ 2β nodes per part, sibling parts stop
+	// sharing overlay edges and portals (Lemma 3.3) cannot exist.
+	minPart := maxInt(r.leafSize, 2*r.beta)
+	k := 0
+	size := m2
+	for size/r.beta >= minPart {
+		size /= r.beta
+		k++
+	}
+	if k == 0 {
+		k = 1 // always at least one partition level
+	}
+	r.levels = k
+	return r, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package embed
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// PortalRef identifies, for a node s in a level-ℓ part, the portal toward
+// a sibling part: a node Portal in s's own part owning a level-(ℓ−1)
+// overlay edge CrossEdge whose other endpoint lies in the sibling part.
+// Portal < 0 means no portal exists (the parts share no overlay edge).
+type PortalRef struct {
+	Portal    int32
+	CrossEdge int32
+}
+
+// PortalTable stores, per virtual node, the portals toward each of the β
+// sibling digits at one level. Entry (vid, j) is meaningless when j is
+// vid's own digit.
+type PortalTable struct {
+	beta    int
+	refs    []PortalRef // vid*beta + digit
+	Missing int         // count of (vid, digit) pairs with no portal
+}
+
+// Get returns the portal of vid toward sibling digit j.
+func (t *PortalTable) Get(vid int32, j int) PortalRef {
+	return t.refs[int(vid)*t.beta+j]
+}
+
+// buildPortals elects the level-ℓ portals per §3.1.2/Lemma 3.3. For every
+// (part, sibling digit) pair we collect the boundary set — the part's
+// nodes with a level-(ℓ−1) overlay edge into the sibling — and each node
+// independently picks a uniformly random boundary node as its portal
+// (the output distribution of the paper's walk-based election). A missing
+// boundary leaves Portal = −1 and is counted.
+func buildPortals(level *Overlay, below *Overlay, beta int, rng *rand.Rand) (*PortalTable, error) {
+	m2 := level.Graph.N()
+	if below.Graph.N() != m2 {
+		return nil, fmt.Errorf("embed: level/below node count mismatch %d vs %d", m2, below.Graph.N())
+	}
+	type boundary struct {
+		node int32
+		edge int32
+	}
+	// boundaries[(part, digit)] lists boundary nodes of part toward the
+	// sibling with that digit.
+	type key struct {
+		part  int32
+		digit int32
+	}
+	boundaries := make(map[key][]boundary)
+	for e, edge := range below.Graph.Edges() {
+		a, b := int32(edge.U), int32(edge.V)
+		if below.PartOf[a] != below.PartOf[b] {
+			continue // not siblings: different parents
+		}
+		if level.Digit[a] == level.Digit[b] {
+			continue // same part at this level
+		}
+		boundaries[key{level.PartOf[a], level.Digit[b]}] = append(
+			boundaries[key{level.PartOf[a], level.Digit[b]}], boundary{a, int32(e)})
+		boundaries[key{level.PartOf[b], level.Digit[a]}] = append(
+			boundaries[key{level.PartOf[b], level.Digit[a]}], boundary{b, int32(e)})
+	}
+
+	table := &PortalTable{
+		beta: beta,
+		refs: make([]PortalRef, m2*beta),
+	}
+	for i := range table.refs {
+		table.refs[i] = PortalRef{Portal: -1, CrossEdge: -1}
+	}
+	sizes := level.PartSizes()
+	for vid := 0; vid < m2; vid++ {
+		part := level.PartOf[vid]
+		parent := below.PartOf[vid]
+		own := level.Digit[vid]
+		for j := 0; j < beta; j++ {
+			if int32(j) == own {
+				continue
+			}
+			list := boundaries[key{part, int32(j)}]
+			if len(list) == 0 {
+				// Only a nonempty sibling with no shared edge is a
+				// real gap; empty sibling parts never receive packets.
+				if sizes[parent*int32(beta)+int32(j)] > 0 {
+					table.Missing++
+				}
+				continue
+			}
+			pick := list[rng.IntN(len(list))]
+			table.refs[vid*beta+j] = PortalRef{Portal: pick.node, CrossEdge: pick.edge}
+		}
+	}
+	return table, nil
+}

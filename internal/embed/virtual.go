@@ -1,0 +1,75 @@
+package embed
+
+import (
+	"fmt"
+
+	"almostmix/internal/graph"
+)
+
+// VirtualIDBits is the number of low bits reserved for the per-node
+// virtual index when encoding a virtual node identity for hashing.
+const VirtualIDBits = 20
+
+// VirtualMap is the correspondence between the 2m virtual nodes of the
+// overlay hierarchy and the physical nodes of the base graph: physical
+// node v simulates d_G(v) virtual nodes (§3.1.1).
+type VirtualMap struct {
+	owner  []int32 // vid -> physical node
+	index  []int32 // vid -> index within the owner (0..d(v)-1)
+	vstart []int32 // physical node -> first vid
+	n2     int
+}
+
+// NewVirtualMap builds the virtual-node mapping for g.
+func NewVirtualMap(g *graph.Graph) *VirtualMap {
+	m2 := 2 * g.M()
+	vm := &VirtualMap{
+		owner:  make([]int32, 0, m2),
+		index:  make([]int32, 0, m2),
+		vstart: make([]int32, g.N()+1),
+		n2:     m2,
+	}
+	for v := 0; v < g.N(); v++ {
+		vm.vstart[v] = int32(len(vm.owner))
+		for i := 0; i < g.Degree(v); i++ {
+			vm.owner = append(vm.owner, int32(v))
+			vm.index = append(vm.index, int32(i))
+		}
+	}
+	vm.vstart[g.N()] = int32(len(vm.owner))
+	return vm
+}
+
+// Count returns the number of virtual nodes (2m).
+func (vm *VirtualMap) Count() int { return vm.n2 }
+
+// Owner returns the physical node simulating vid.
+func (vm *VirtualMap) Owner(vid int32) int { return int(vm.owner[vid]) }
+
+// IndexAtOwner returns vid's index among its owner's virtual nodes.
+func (vm *VirtualMap) IndexAtOwner(vid int32) int { return int(vm.index[vid]) }
+
+// DegreeOf returns the number of virtual nodes owned by physical node v.
+func (vm *VirtualMap) DegreeOf(v int) int { return int(vm.vstart[v+1] - vm.vstart[v]) }
+
+// VID returns the virtual node (v, i).
+func (vm *VirtualMap) VID(v, i int) int32 {
+	if i < 0 || i >= vm.DegreeOf(v) {
+		panic(fmt.Sprintf("embed: node %d has no virtual index %d", v, i))
+	}
+	return vm.vstart[v] + int32(i)
+}
+
+// EncodedID returns the globally hashable identity of vid: the owner's ID
+// shifted past the virtual index. Any node that knows a destination's
+// physical ID and virtual index can compute this and hence the partition
+// label, which is property (P2) of §3.1.2.
+func (vm *VirtualMap) EncodedID(vid int32) uint64 {
+	return uint64(vm.owner[vid])<<VirtualIDBits | uint64(vm.index[vid])
+}
+
+// EncodeID computes the hashable identity from a (physical, index) pair
+// without a VirtualMap lookup; it must agree with EncodedID.
+func EncodeID(physical, index int) uint64 {
+	return uint64(physical)<<VirtualIDBits | uint64(index)
+}

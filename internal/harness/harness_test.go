@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "graph", "n", "rounds")
+	tb.AddRow("ring", 16, 120)
+	tb.AddRow("expander", 1024, 42.5)
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "expander") || !strings.Contains(out, "42.5") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2)
+	want := "a,b\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 3·x²: slope 2.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	if s := LogLogSlope(xs, ys); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("slope %v, want 2", s)
+	}
+	// Constants have slope 0.
+	if s := LogLogSlope(xs, []float64{5, 5, 5, 5, 5}); math.Abs(s) > 1e-9 {
+		t.Fatalf("constant slope %v", s)
+	}
+	// Degenerate inputs.
+	if !math.IsNaN(LogLogSlope([]float64{1}, []float64{1})) {
+		t.Fatal("single point should be NaN")
+	}
+	if !math.IsNaN(LogLogSlope(xs, []float64{0, 0, 0, 0, 0})) {
+		t.Fatal("nonpositive ys should be NaN")
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Max(xs) != 4 {
+		t.Fatalf("max %v", Max(xs))
+	}
+	if Quantile(xs, 0.5) != 2 {
+		t.Fatalf("median %v", Quantile(xs, 0.5))
+	}
+	if Quantile(xs, 1) != 4 || Quantile(xs, 0) != 1 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty input handling wrong")
+	}
+}

@@ -1,0 +1,144 @@
+// Package kwise implements W-wise independent hash families via random
+// polynomials of degree W−1 over the Mersenne prime field GF(2^61−1).
+//
+// The paper (§3.1.2) partitions node IDs into the leaves of a β-ary tree
+// with a Θ(log n)-wise independent hash function whose Θ(log² n) random
+// bits are broadcast once from a leader; every node can then evaluate the
+// partition label of every ID locally. This package provides exactly that
+// object: the family, its serialized coefficient form (the "shared random
+// bits"), evaluation, and extraction of per-level β-ary digits.
+package kwise
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Prime is the field modulus 2^61 − 1.
+const Prime uint64 = (1 << 61) - 1
+
+// mulMod multiplies modulo 2^61−1 using the Mersenne reduction.
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a·b = hi·2^64 + lo = hi·8·2^61 + lo ≡ hi·8 + lo (mod 2^61−1),
+	// folding twice to bring the value under 2^62.
+	sum := (hi << 3) | (lo >> 61)
+	res := (lo & Prime) + sum
+	res = (res & Prime) + (res >> 61)
+	if res >= Prime {
+		res -= Prime
+	}
+	return res
+}
+
+func addMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= Prime {
+		s -= Prime
+	}
+	return s
+}
+
+// Family is a W-wise independent hash family member: a degree-(W−1)
+// polynomial with uniform random coefficients.
+type Family struct {
+	coeffs []uint64 // little-endian: h(x) = Σ coeffs[i]·x^i
+}
+
+// New draws a random member of the W-wise independent family. W must be
+// at least 1.
+func New(w int, rng *rand.Rand) *Family {
+	if w < 1 {
+		panic("kwise: independence parameter must be >= 1")
+	}
+	coeffs := make([]uint64, w)
+	for i := range coeffs {
+		coeffs[i] = rng.Uint64N(Prime)
+	}
+	return &Family{coeffs: coeffs}
+}
+
+// Independence returns W, the independence parameter.
+func (f *Family) Independence() int { return len(f.coeffs) }
+
+// Bits returns the coefficients — the shared random bits that a leader
+// broadcasts so every node evaluates the same function. The slice is a
+// copy.
+func (f *Family) Bits() []uint64 {
+	out := make([]uint64, len(f.coeffs))
+	copy(out, f.coeffs)
+	return out
+}
+
+// FromBits reconstructs a Family from broadcast coefficients.
+func FromBits(coeffs []uint64) (*Family, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("kwise: empty coefficient vector")
+	}
+	for i, c := range coeffs {
+		if c >= Prime {
+			return nil, fmt.Errorf("kwise: coefficient %d = %d out of field", i, c)
+		}
+	}
+	out := make([]uint64, len(coeffs))
+	copy(out, coeffs)
+	return &Family{coeffs: out}, nil
+}
+
+// Hash evaluates the polynomial at x (reduced into the field) by Horner's
+// rule, returning a value in [0, Prime).
+func (f *Family) Hash(x uint64) uint64 {
+	x %= Prime
+	acc := uint64(0)
+	for i := len(f.coeffs) - 1; i >= 0; i-- {
+		acc = addMod(mulMod(acc, x), f.coeffs[i])
+	}
+	return acc
+}
+
+// Bucket maps x to one of buckets bins. The modulo bias is at most
+// buckets/2^61, negligible for the bucket counts used here.
+func (f *Family) Bucket(x, buckets uint64) uint64 {
+	if buckets == 0 {
+		panic("kwise: zero buckets")
+	}
+	return f.Hash(x) % buckets
+}
+
+// Label is a hierarchical partition label: Digits[p] selects the child at
+// level p of the β-ary partition tree (Digits[0] picks the A_i set,
+// Digits[1] the B_ji subset, and so on).
+type Label struct {
+	Digits []int
+}
+
+// Prefix reports whether l's first p digits equal other's first p digits.
+func (l Label) Prefix(other Label, p int) bool {
+	for i := 0; i < p; i++ {
+		if l.Digits[i] != other.Digits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafLabel maps an ID to its depth-k label in the β-ary tree: the hash is
+// reduced to a leaf index in [0, β^k) and split into k base-β digits, most
+// significant first.
+func (f *Family) LeafLabel(id uint64, beta, k int) Label {
+	if beta < 2 || k < 0 {
+		panic(fmt.Sprintf("kwise: invalid tree shape beta=%d k=%d", beta, k))
+	}
+	leaves := uint64(1)
+	for i := 0; i < k; i++ {
+		leaves *= uint64(beta)
+	}
+	leaf := f.Bucket(id, leaves)
+	digits := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		digits[i] = int(leaf % uint64(beta))
+		leaf /= uint64(beta)
+	}
+	return Label{Digits: digits}
+}

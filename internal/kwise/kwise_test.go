@@ -1,0 +1,235 @@
+package kwise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"almostmix/internal/rngutil"
+)
+
+func TestMulModAgainstBigArithmetic(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= Prime
+		b %= Prime
+		got := mulMod(a, b)
+		// Verify via 128-bit decomposition: compute a*b mod Prime with
+		// the schoolbook split a = aHi·2^32 + aLo.
+		want := slowMulMod(a, b)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// slowMulMod computes a*b mod Prime by splitting into 32-bit halves and
+// reducing with 64-bit-safe shifts.
+func slowMulMod(a, b uint64) uint64 {
+	const mask32 = (1 << 32) - 1
+	aHi, aLo := a>>32, a&mask32
+	res := mulShift32(aHi, b) // aHi·2^32·b mod p
+	lo := aLo % Prime
+	// aLo·b mod p, accumulating via repeated doubling of 32-bit chunks.
+	bHi, bLo := b>>32, b&mask32
+	part := mulShift32(bHi, lo)
+	part = (part + mulSmall(bLo, lo)) % Prime
+	return (res + part) % Prime
+}
+
+// mulShift32 returns x·2^32·y mod Prime where x,y < 2^61.
+func mulShift32(x, y uint64) uint64 {
+	v := mulSmall(x%Prime, y%Prime)
+	for i := 0; i < 32; i++ {
+		v <<= 1
+		if v >= Prime {
+			v -= Prime
+		}
+	}
+	return v
+}
+
+// mulSmall multiplies via binary decomposition (no overflow since values
+// stay < 2·Prime < 2^62).
+func mulSmall(a, b uint64) uint64 {
+	a %= Prime
+	b %= Prime
+	res := uint64(0)
+	for b > 0 {
+		if b&1 == 1 {
+			res += a
+			if res >= Prime {
+				res -= Prime
+			}
+		}
+		a <<= 1
+		if a >= Prime {
+			a -= Prime
+		}
+		b >>= 1
+	}
+	return res
+}
+
+func TestHashDeterministicAndInField(t *testing.T) {
+	r := rngutil.NewRand(1)
+	f := New(8, r)
+	for x := uint64(0); x < 1000; x++ {
+		h1, h2 := f.Hash(x), f.Hash(x)
+		if h1 != h2 {
+			t.Fatalf("hash not deterministic at %d", x)
+		}
+		if h1 >= Prime {
+			t.Fatalf("hash %d out of field", h1)
+		}
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	r := rngutil.NewRand(2)
+	f := New(6, r)
+	g, err := FromBits(f.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if f.Hash(x) != g.Hash(x) {
+			t.Fatalf("reconstructed family disagrees at %d", x)
+		}
+	}
+	if g.Independence() != 6 {
+		t.Fatalf("independence = %d, want 6", g.Independence())
+	}
+}
+
+func TestFromBitsRejectsBad(t *testing.T) {
+	if _, err := FromBits(nil); err == nil {
+		t.Fatal("empty coefficients accepted")
+	}
+	if _, err := FromBits([]uint64{Prime}); err == nil {
+		t.Fatal("out-of-field coefficient accepted")
+	}
+}
+
+func TestBitsIsACopy(t *testing.T) {
+	f := New(3, rngutil.NewRand(3))
+	b := f.Bits()
+	before := f.Hash(7)
+	b[0] = 0
+	if f.Hash(7) != before {
+		t.Fatal("mutating Bits() output changed the family")
+	}
+}
+
+func TestConstantPolynomial(t *testing.T) {
+	f := &Family{coeffs: []uint64{42}}
+	for x := uint64(0); x < 100; x += 7 {
+		if f.Hash(x) != 42 {
+			t.Fatal("degree-0 polynomial is not constant")
+		}
+	}
+}
+
+func TestLinearPolynomialAlgebra(t *testing.T) {
+	// h(x) = 3 + 5x.
+	f := &Family{coeffs: []uint64{3, 5}}
+	if got := f.Hash(10); got != 53 {
+		t.Fatalf("h(10) = %d, want 53", got)
+	}
+	if got := f.Hash(Prime); got != 3 { // x reduced to 0
+		t.Fatalf("h(p) = %d, want 3", got)
+	}
+}
+
+func TestBucketUniformityRough(t *testing.T) {
+	r := rngutil.NewRand(4)
+	f := New(10, r)
+	const buckets = 16
+	const samples = 32000
+	counts := make([]int, buckets)
+	for x := uint64(0); x < samples; x++ {
+		counts[f.Bucket(x, buckets)]++
+	}
+	want := float64(samples) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Fatalf("bucket %d has %d, want ≈ %v", b, c, want)
+		}
+	}
+}
+
+func TestPairwiseIndependenceStatistical(t *testing.T) {
+	// Over random draws of the family, (h(1) mod 2, h(2) mod 2) should
+	// hit all four combinations about equally — a consequence of 2-wise
+	// independence.
+	counts := make(map[[2]uint64]int)
+	for seed := uint64(0); seed < 2000; seed++ {
+		f := New(2, rngutil.NewRand(seed))
+		counts[[2]uint64{f.Hash(1) & 1, f.Hash(2) & 1}]++
+	}
+	for k, c := range counts {
+		if c < 350 || c > 650 {
+			t.Fatalf("combination %v seen %d times, want ≈ 500", k, c)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("saw %d combinations, want 4", len(counts))
+	}
+}
+
+func TestLeafLabelDigits(t *testing.T) {
+	f := New(4, rngutil.NewRand(5))
+	beta, k := 4, 5
+	for id := uint64(0); id < 300; id++ {
+		lbl := f.LeafLabel(id, beta, k)
+		if len(lbl.Digits) != k {
+			t.Fatalf("label has %d digits, want %d", len(lbl.Digits), k)
+		}
+		for _, d := range lbl.Digits {
+			if d < 0 || d >= beta {
+				t.Fatalf("digit %d out of range", d)
+			}
+		}
+		// Re-derivation must agree (nodes compute labels independently).
+		again := f.LeafLabel(id, beta, k)
+		if !lbl.Prefix(again, k) {
+			t.Fatal("label not reproducible")
+		}
+	}
+}
+
+func TestLeafLabelPartitionBalance(t *testing.T) {
+	// Property P1: each prefix class receives ≈ m/β^p of m IDs.
+	f := New(12, rngutil.NewRand(6))
+	beta, k := 4, 3
+	const ids = 6400
+	counts := make(map[int]int)
+	for id := uint64(0); id < ids; id++ {
+		counts[f.LeafLabel(id, beta, k).Digits[0]]++
+	}
+	want := float64(ids) / float64(beta)
+	for d, c := range counts {
+		if math.Abs(float64(c)-want) > 0.12*want {
+			t.Fatalf("top-level part %d has %d ids, want ≈ %v", d, c, want)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	a := Label{Digits: []int{1, 2, 3}}
+	b := Label{Digits: []int{1, 2, 4}}
+	if !a.Prefix(b, 2) {
+		t.Fatal("2-digit prefixes should match")
+	}
+	if a.Prefix(b, 3) {
+		t.Fatal("3-digit prefixes should differ")
+	}
+}
+
+func TestLeafLabelZeroDepth(t *testing.T) {
+	f := New(2, rngutil.NewRand(7))
+	lbl := f.LeafLabel(99, 4, 0)
+	if len(lbl.Digits) != 0 {
+		t.Fatal("depth-0 label should be empty")
+	}
+}

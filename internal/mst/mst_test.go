@@ -1,0 +1,279 @@
+package mst
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"almostmix/internal/embed"
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+type fixture struct {
+	g *graph.Graph
+	h *embed.Hierarchy
+}
+
+var shared = sync.OnceValues(func() (*fixture, error) {
+	r := rngutil.NewRand(1)
+	g := graph.RandomRegular(64, 6, r)
+	g.AssignDistinctRandomWeights(r)
+	p := embed.DefaultParams()
+	p.Beta = 4
+	p.LeafSize = 12
+	h, err := embed.Build(g, p, rngutil.NewSource(2))
+	if err != nil {
+		return nil, err
+	}
+	return &fixture{g: g, h: h}, nil
+})
+
+func testFixture(t *testing.T) *fixture {
+	t.Helper()
+	f, err := shared()
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return f
+}
+
+func sortedCopy(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}
+
+func TestKruskalOnKnownGraph(t *testing.T) {
+	// Triangle with weights 1, 2, 3: MST = the two lightest edges.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	edges, w := Kruskal(g)
+	if w != 3 {
+		t.Fatalf("MST weight %v, want 3", w)
+	}
+	got := sortedCopy(edges)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("MST edges %v, want [0 1]", got)
+	}
+}
+
+func TestKruskalSpanningTreeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.NewRand(seed)
+		g, err := graph.ConnectedGnp(24, 0.3, r)
+		if err != nil {
+			return true
+		}
+		g.AssignDistinctRandomWeights(r)
+		edges, _ := Kruskal(g)
+		if len(edges) != g.N()-1 {
+			return false
+		}
+		// The chosen edges must connect the graph.
+		sub := graph.New(g.N())
+		for _, id := range edges {
+			e := g.Edge(id)
+			sub.AddEdge(e.U, e.V, e.W)
+		}
+		return sub.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalMSTMatchesKruskal(t *testing.T) {
+	fx := testFixture(t)
+	res, err := Run(fx.h, rngutil.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges, wantW := Kruskal(fx.g)
+	if res.Weight != wantW {
+		t.Fatalf("hierarchical MST weight %v, Kruskal %v", res.Weight, wantW)
+	}
+	got, want := sortedCopy(res.Edges), sortedCopy(wantEdges)
+	if len(got) != len(want) {
+		t.Fatalf("edge count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge sets differ at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if res.Rounds <= res.AlgorithmRounds {
+		t.Fatal("total rounds should include construction")
+	}
+}
+
+func TestMSTIterationInvariants(t *testing.T) {
+	fx := testFixture(t)
+	res, err := Run(fx.h, rngutil.NewSource(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.g.N()
+	logN := log2int(n)
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	// Fragments shrink by a constant factor in expectation; any single
+	// iteration may stall on unlucky coins, but counts never increase.
+	prevFrags := n + 1
+	for i, it := range res.Iterations {
+		if it.Fragments > prevFrags {
+			t.Fatalf("iteration %d: fragments increased (%d -> %d)", i, prevFrags, it.Fragments)
+		}
+		prevFrags = it.Fragments
+		if it.Rounds <= 0 {
+			t.Fatalf("iteration %d has non-positive rounds", i)
+		}
+	}
+	if got := res.Iterations[0].Fragments; got != n {
+		t.Fatalf("first iteration saw %d fragments, want %d", got, n)
+	}
+	// Lemma 4.1 shape: depth stays O(log² n) with small constants.
+	if res.MaxTreeDepth > 4*logN*logN {
+		t.Fatalf("max tree depth %d exceeds 4·log²n = %d", res.MaxTreeDepth, 4*logN*logN)
+	}
+	// Degree invariant: inDeg ≤ d_G(v)·O(log n).
+	if res.MaxInDegRatio > 4*float64(logN) {
+		t.Fatalf("max in-degree ratio %v exceeds 4·log n", res.MaxInDegRatio)
+	}
+}
+
+func TestMSTDeterministic(t *testing.T) {
+	fx := testFixture(t)
+	a, err := Run(fx.h, rngutil.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fx.h, rngutil.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Weight != b.Weight {
+		t.Fatal("same seed, different MST run")
+	}
+}
+
+func TestMSTOnGnp(t *testing.T) {
+	r := rngutil.NewRand(8)
+	g, err := graph.ConnectedGnp(48, 0.25, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignDistinctRandomWeights(r)
+	p := embed.DefaultParams()
+	p.Beta = 4
+	p.LeafSize = 12
+	h, err := embed.Build(g, p, rngutil.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(h, rngutil.NewSource(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantW := Kruskal(g)
+	if res.Weight != wantW {
+		t.Fatalf("weight %v, want %v", res.Weight, wantW)
+	}
+}
+
+func TestForestBasics(t *testing.T) {
+	f := NewForest(5)
+	if f.NumFragments() != 5 {
+		t.Fatalf("fresh forest has %d fragments", f.NumFragments())
+	}
+	f.Attach(1, 0)
+	f.Attach(2, 1)
+	if got := f.Relabel(); got != 3 {
+		t.Fatalf("fragments after merges = %d, want 3", got)
+	}
+	if f.Fragment(2) != 0 || f.Fragment(1) != 0 {
+		t.Fatal("relabel wrong")
+	}
+	depths := f.Depths()
+	if depths[0] != 0 || depths[1] != 1 || depths[2] != 2 {
+		t.Fatalf("depths %v", depths)
+	}
+	if f.InDegree(0) != 1 || f.InDegree(1) != 1 {
+		t.Fatal("in-degrees wrong")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestAttachNonRootPanics(t *testing.T) {
+	f := NewForest(3)
+	f.Attach(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attaching non-root did not panic")
+		}
+	}()
+	f.Attach(1, 2)
+}
+
+func TestBalanceKeepsValidTree(t *testing.T) {
+	// Build a deliberately deep head tree (a path), attach many tails,
+	// and verify balancing keeps the structure a valid tree.
+	const n = 40
+	f := NewForest(n)
+	// Path 0 <- 1 <- ... <- 19 (0 is root).
+	for v := int32(1); v < 20; v++ {
+		f.Attach(v, v-1)
+	}
+	f.Relabel()
+	snapParent := make([]int32, n)
+	copy(snapParent, f.parent)
+	snapDepth := f.Depths()
+	// Attach tails 20..29 to points spread along the path.
+	var points []int32
+	for i := int32(0); i < 10; i++ {
+		y := i * 2
+		f.Attach(20+i, y)
+		points = append(points, y)
+	}
+	res := f.balance(0, points, snapParent, snapDepth)
+	if res.Waves == 0 {
+		t.Fatal("no balancing waves ran")
+	}
+	f.Relabel()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("balance broke the forest: %v", err)
+	}
+	for v := int32(0); v < 30; v++ {
+		if f.Fragment(v) != 0 {
+			t.Fatalf("node %d left fragment 0", v)
+		}
+	}
+}
+
+func TestComputeMWOE(t *testing.T) {
+	// Two fragments {0,1} and {2,3} with crossing edges of weight 5, 3.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	heavy := g.AddEdge(0, 2, 5)
+	light := g.AddEdge(1, 3, 3)
+	f := NewForest(4)
+	f.Attach(1, 0)
+	f.Attach(3, 2)
+	f.Relabel()
+	mwoe := computeMWOE(g, f)
+	if got := mwoe[f.Fragment(0)]; got.edge != light || got.y != 3 {
+		t.Fatalf("fragment 0 MWOE = %+v, want edge %d to node 3", got, light)
+	}
+	if got := mwoe[f.Fragment(2)]; got.edge != light || got.y != 1 {
+		t.Fatalf("fragment 2 MWOE = %+v", got)
+	}
+	_ = heavy
+}

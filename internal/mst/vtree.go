@@ -1,0 +1,259 @@
+package mst
+
+import (
+	"fmt"
+)
+
+// Forest maintains the virtual trees T(C) of §4: one rooted tree per
+// Borůvka fragment, over the physical nodes of the component. Tree edges
+// are virtual (arbitrary node pairs routable by ID); Lemma 4.1's
+// invariants — depth O(log² n), per-node in-degree growth O(1) per
+// iteration beyond the ≤ d_G(v) merge attachments, and parent knowledge —
+// are maintained by the token-merge balancing process implemented in
+// balance.
+type Forest struct {
+	parent []int32 // virtual-tree parent; -1 at roots
+	frag   []int32 // fragment identifier (the root node's ID)
+	inDeg  []int32 // virtual-tree in-degree (children count), audited
+}
+
+// NewForest returns the singleton forest: every node is its own fragment.
+func NewForest(n int) *Forest {
+	f := &Forest{
+		parent: make([]int32, n),
+		frag:   make([]int32, n),
+		inDeg:  make([]int32, n),
+	}
+	for v := range f.parent {
+		f.parent[v] = -1
+		f.frag[v] = int32(v)
+	}
+	return f
+}
+
+// Fragment returns the fragment ID of node v.
+func (f *Forest) Fragment(v int32) int32 { return f.frag[v] }
+
+// Parent returns v's virtual-tree parent (-1 at roots).
+func (f *Forest) Parent(v int32) int32 { return f.parent[v] }
+
+// InDegree returns v's number of virtual-tree children.
+func (f *Forest) InDegree(v int32) int32 { return f.inDeg[v] }
+
+// NumFragments counts the remaining fragments.
+func (f *Forest) NumFragments() int {
+	count := 0
+	for v, p := range f.parent {
+		if p < 0 && f.frag[v] == int32(v) {
+			count++
+		}
+	}
+	return count
+}
+
+// Depths returns the depth of every node in its virtual tree.
+func (f *Forest) Depths() []int32 {
+	n := len(f.parent)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var walk func(v int32) int32
+	walk = func(v int32) int32 {
+		if depth[v] >= 0 {
+			return depth[v]
+		}
+		if f.parent[v] < 0 {
+			depth[v] = 0
+			return 0
+		}
+		d := walk(f.parent[v]) + 1
+		depth[v] = d
+		return d
+	}
+	for v := int32(0); v < int32(n); v++ {
+		walk(v)
+	}
+	return depth
+}
+
+// MaxDepth returns the maximum virtual-tree depth over all fragments.
+func (f *Forest) MaxDepth() int {
+	maxD := int32(0)
+	for _, d := range f.Depths() {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return int(maxD)
+}
+
+// Attach merges a tail fragment into a head fragment: the tail's root
+// becomes a child of attachment point y (the head-side endpoint of the
+// tail's minimum-weight outgoing edge). The caller relabels fragments
+// afterwards via Relabel.
+func (f *Forest) Attach(tailRoot, y int32) {
+	if f.parent[tailRoot] >= 0 {
+		panic(fmt.Sprintf("mst: node %d is not a root", tailRoot))
+	}
+	f.parent[tailRoot] = y
+	f.inDeg[y]++
+}
+
+// Relabel assigns every node the fragment ID of its tree root. It returns
+// the number of distinct fragments.
+func (f *Forest) Relabel() int {
+	n := len(f.parent)
+	for v := range f.frag {
+		f.frag[v] = -1
+	}
+	var rootOf func(v int32) int32
+	rootOf = func(v int32) int32 {
+		if f.frag[v] >= 0 {
+			return f.frag[v]
+		}
+		if f.parent[v] < 0 {
+			f.frag[v] = v
+			return v
+		}
+		r := rootOf(f.parent[v])
+		f.frag[v] = r
+		return r
+	}
+	roots := make(map[int32]struct{})
+	for v := int32(0); v < int32(n); v++ {
+		roots[rootOf(v)] = struct{}{}
+	}
+	return len(roots)
+}
+
+// balanceResult reports the token process outcome for auditing.
+type balanceResult struct {
+	Waves     int // tree levels the token wave traversed
+	Reparents int // virtual edges rewired
+}
+
+// balance runs the Lemma 4.1 token-merge process on the head tree after
+// attachments: one token per distinct attachment point percolates up the
+// (pre-attachment) head tree; wherever two or more tokens meet, the
+// creation points of arriving tokens are re-parented under the child
+// through which they arrived, and a fresh token continues from the merge
+// point. The final merge at the root re-parents the surviving creation
+// points likewise, keeping every newly attached subtree within O(log n)
+// of the root.
+//
+// snapshotParent must be the parent table of the head tree before this
+// iteration's attachments; token movement follows the snapshot while
+// re-parenting mutates the live table.
+func (f *Forest) balance(headRoot int32, attachPoints []int32, snapshotParent []int32, snapshotDepth []int32) balanceResult {
+	var res balanceResult
+	if len(attachPoints) == 0 {
+		return res
+	}
+	type token struct {
+		creation int32
+		arrived  int32 // node it last moved from (child of position); -1 if fresh
+	}
+	// Deduplicate attachment points; one token each.
+	at := make(map[int32][]token)
+	maxDepth := int32(0)
+	seen := make(map[int32]bool, len(attachPoints))
+	for _, p := range attachPoints {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		at[p] = append(at[p], token{creation: p, arrived: -1})
+		if snapshotDepth[p] > maxDepth {
+			maxDepth = snapshotDepth[p]
+		}
+	}
+
+	mergeAt := func(v int32, tokens []token) token {
+		for _, t := range tokens {
+			// Re-parent the creation point under the child through
+			// which its token arrived, unless it already is that child
+			// (or the creation point is v itself / the head root).
+			w, u := t.creation, t.arrived
+			if u < 0 || w == u || w == v || w == headRoot {
+				continue
+			}
+			if f.parent[w] != u {
+				if old := f.parent[w]; old >= 0 {
+					f.inDeg[old]--
+				}
+				f.parent[w] = u
+				f.inDeg[u]++
+				res.Reparents++
+			}
+		}
+		return token{creation: v, arrived: -1}
+	}
+
+	for d := maxDepth; d >= 1; d-- {
+		res.Waves++
+		next := make(map[int32][]token)
+		for pos, tokens := range at {
+			if snapshotDepth[pos] != d {
+				// Not yet reached by the wave (or already above it);
+				// tokens above the wave cannot exist by construction,
+				// so this is a waiting token below its start — keep.
+				next[pos] = append(next[pos], tokens...)
+				continue
+			}
+			p := snapshotParent[pos]
+			if p < 0 {
+				next[pos] = append(next[pos], tokens...)
+				continue
+			}
+			for _, t := range tokens {
+				t.arrived = pos
+				next[p] = append(next[p], t)
+			}
+		}
+		at = make(map[int32][]token, len(next))
+		for pos, tokens := range next {
+			if len(tokens) >= 2 && pos != headRoot {
+				at[pos] = []token{mergeAt(pos, tokens)}
+			} else {
+				at[pos] = tokens
+			}
+		}
+	}
+	// Final merge at the root.
+	if tokens := at[headRoot]; len(tokens) > 0 {
+		mergeAt(headRoot, tokens)
+	}
+	return res
+}
+
+// Validate checks structural invariants: parent pointers are acyclic and
+// every non-root reaches its fragment's root.
+func (f *Forest) Validate() error {
+	n := len(f.parent)
+	for v := int32(0); v < int32(n); v++ {
+		slow, fast := v, v
+		for {
+			if f.parent[fast] < 0 {
+				break
+			}
+			fast = f.parent[fast]
+			if f.parent[fast] < 0 {
+				break
+			}
+			fast = f.parent[fast]
+			slow = f.parent[slow]
+			if slow == fast {
+				return fmt.Errorf("mst: parent cycle through node %d", v)
+			}
+		}
+		root := v
+		for f.parent[root] >= 0 {
+			root = f.parent[root]
+		}
+		if f.frag[v] != f.frag[root] {
+			return fmt.Errorf("mst: node %d fragment %d != root fragment %d", v, f.frag[v], f.frag[root])
+		}
+	}
+	return nil
+}

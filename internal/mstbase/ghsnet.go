@@ -1,0 +1,356 @@
+package mstbase
+
+import (
+	"fmt"
+	"math"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+// This file implements synchronous Borůvka/GHS as genuine node programs
+// on the CONGEST simulator — every fragment-ID exchange, candidate
+// convergecast, decision downcast, merge request and adoption wave is an
+// actual O(log n)-bit message crossing an actual edge, and the round
+// count is whatever the simulator measures. It is the full-fidelity
+// counterpart of the charged-cost GHS model above and the textbook
+// O(n log n) synchronous algorithm: iterations run in fixed windows of
+// Θ(n) rounds, inside which the phases are event-driven.
+//
+// Window layout (local offset ℓ within a window of length 3n+6):
+//
+//	ℓ = 0                every node sends its fragment ID to all neighbors
+//	ℓ ∈ [1, n+1)         MWOE candidates convergecast up the fragment tree
+//	ℓ = n+1              fragment roots open the decision downcast
+//	ℓ ∈ (n+1, 3n+6)      decisions flood down; chosen-edge owners send
+//	                     merge requests; the higher-ID endpoint of each
+//	                     mutually-chosen (core) edge starts the adoption
+//	                     wave that re-roots the merged fragment
+//
+// A fragment whose root sees no outgoing edge spans the whole graph; its
+// "none" decision makes every node halt at the window boundary.
+
+// ghsCandidate is an MWOE candidate: the edge's weight and endpoints
+// (inside node first). A +Inf weight encodes "no outgoing edge".
+type ghsCandidate struct {
+	W    float64
+	X, Y int32
+}
+
+func (c ghsCandidate) better(o ghsCandidate) bool {
+	if c.W != o.W {
+		return c.W < o.W
+	}
+	if c.X != o.X {
+		return c.X < o.X
+	}
+	return c.Y < o.Y
+}
+
+// Message payloads.
+type (
+	ghsFragID   struct{ Frag int32 }
+	ghsReport   struct{ Cand ghsCandidate }
+	ghsDecision struct{ Cand ghsCandidate }
+	ghsMergeReq struct{}
+	ghsAdopt    struct{ Frag int32 }
+)
+
+// ghsNode is the per-node program state.
+type ghsNode struct {
+	run *ghsRun
+
+	frag       int32
+	parentPort int    // -1 at fragment roots
+	treePort   []bool // MST edges chosen so far (ports)
+
+	// Per-window scratch, reset at ℓ = 0.
+	nbrFrag     []int32
+	gotFrag     int
+	childWait   int
+	bestCand    ghsCandidate
+	reported    bool
+	decided     bool
+	decision    ghsCandidate
+	sentMerge   bool
+	mergedPort  []bool // ports that received/sent a merge request
+	adopted     bool
+	newParent   int
+	newFrag     int32
+	complete    bool
+	pendingSend []pendingMsg
+}
+
+type pendingMsg struct {
+	port    int
+	payload congest.Message
+}
+
+// ghsRun holds shared run metadata and the collected tree.
+type ghsRun struct {
+	g      *graph.Graph
+	window int
+	chosen map[int]struct{} // edge IDs in the MST (by either endpoint)
+}
+
+func noneCandidate() ghsCandidate {
+	return ghsCandidate{W: math.Inf(1), X: -1, Y: -1}
+}
+
+func (p *ghsNode) Init(ctx *congest.Ctx) {
+	p.frag = int32(ctx.ID())
+	p.parentPort = -1
+	p.treePort = make([]bool, ctx.Degree())
+	p.nbrFrag = make([]int32, ctx.Degree())
+	p.resetWindow(ctx)
+}
+
+func (p *ghsNode) resetWindow(ctx *congest.Ctx) {
+	for i := range p.nbrFrag {
+		p.nbrFrag[i] = -1
+	}
+	p.gotFrag = 0
+	p.childWait = 0
+	for port, tree := range p.treePort {
+		if tree && port != p.parentPort {
+			p.childWait++
+		}
+	}
+	p.bestCand = noneCandidate()
+	p.reported = false
+	p.decided = false
+	p.sentMerge = false
+	p.mergedPort = make([]bool, ctx.Degree())
+	p.adopted = false
+	p.newParent = -1
+	p.newFrag = -1
+	p.pendingSend = p.pendingSend[:0]
+}
+
+// send queues a message; at most one per port is flushed per round, which
+// keeps the program within CONGEST capacity even when phases abut.
+func (p *ghsNode) send(port int, payload congest.Message) {
+	p.pendingSend = append(p.pendingSend, pendingMsg{port: port, payload: payload})
+}
+
+func (p *ghsNode) flush(ctx *congest.Ctx) {
+	usedPort := make(map[int]bool, len(p.pendingSend))
+	rest := p.pendingSend[:0]
+	for _, m := range p.pendingSend {
+		if usedPort[m.port] {
+			rest = append(rest, m)
+			continue
+		}
+		usedPort[m.port] = true
+		ctx.Send(m.port, m.payload)
+	}
+	p.pendingSend = rest
+}
+
+func (p *ghsNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
+	w := p.run.window
+	offset := (ctx.Round() - 1) % w
+
+	if offset == 0 {
+		// Window boundary: commit the previous window's merge, halt if
+		// the graph is spanned, then open the new window.
+		if p.adopted {
+			p.frag = p.newFrag
+			p.parentPort = p.newParent
+			for port, m := range p.mergedPort {
+				if m {
+					p.treePort[port] = true
+				}
+			}
+		}
+		if p.complete {
+			ctx.Halt()
+			return
+		}
+		p.resetWindow(ctx)
+		for port := 0; port < ctx.Degree(); port++ {
+			p.send(port, ghsFragID{Frag: p.frag})
+		}
+		p.flush(ctx)
+		return
+	}
+
+	for _, in := range inbox {
+		p.handle(ctx, in)
+	}
+	p.maybeReport(ctx, offset)
+	p.flush(ctx)
+}
+
+func (p *ghsNode) handle(ctx *congest.Ctx, in congest.Inbound) {
+	switch msg := in.Payload.(type) {
+	case ghsFragID:
+		p.nbrFrag[in.Port] = msg.Frag
+		p.gotFrag++
+	case ghsReport:
+		if msg.Cand.better(p.bestCand) {
+			p.bestCand = msg.Cand
+		}
+		p.childWait--
+	case ghsDecision:
+		p.applyDecision(ctx, msg.Cand)
+	case ghsMergeReq:
+		p.mergedPort[in.Port] = true
+		// If the adoption wave already passed through this node, the
+		// late-arriving subtree behind this request must be flooded too.
+		if p.adopted {
+			p.send(in.Port, ghsAdopt{Frag: p.newFrag})
+		}
+		if p.sentMerge && int(p.decision.Y) == ctx.NeighborID(in.Port) &&
+			int(p.decision.X) == ctx.ID() {
+			// Mutual choice: this edge is the core. The higher-ID
+			// endpoint becomes the new fragment root.
+			if ctx.ID() > ctx.NeighborID(in.Port) {
+				p.startAdoption(ctx)
+			}
+		}
+	case ghsAdopt:
+		if p.adopted {
+			return
+		}
+		p.adopted = true
+		p.newFrag = msg.Frag
+		p.newParent = in.Port
+		p.mergedPort[in.Port] = true
+		p.forwardAdoption(ctx, in.Port)
+	default:
+		panic(fmt.Sprintf("mstbase: node %d got %T", ctx.ID(), in.Payload))
+	}
+}
+
+// maybeReport sends this node's aggregated candidate to its parent once
+// all fragment children reported and all neighbor fragment IDs are known.
+func (p *ghsNode) maybeReport(ctx *congest.Ctx, offset int) {
+	if p.reported || offset < 1 || p.gotFrag < ctx.Degree() || p.childWait > 0 {
+		return
+	}
+	p.reported = true
+	// Fold in the local candidate: the lightest incident edge leaving
+	// the fragment.
+	for port := 0; port < ctx.Degree(); port++ {
+		if p.nbrFrag[port] == p.frag {
+			continue
+		}
+		cand := ghsCandidate{
+			W: ctx.EdgeWeight(port),
+			X: int32(ctx.ID()),
+			Y: int32(ctx.NeighborID(port)),
+		}
+		if cand.better(p.bestCand) {
+			p.bestCand = cand
+		}
+	}
+	if p.parentPort >= 0 {
+		p.send(p.parentPort, ghsReport{Cand: p.bestCand})
+		return
+	}
+	// Root: decide and open the downcast.
+	p.applyDecision(ctx, p.bestCand)
+}
+
+// applyDecision records the fragment's MWOE, forwards it down the tree,
+// and triggers the merge request if this node owns the chosen edge.
+func (p *ghsNode) applyDecision(ctx *congest.Ctx, cand ghsCandidate) {
+	if p.decided {
+		return
+	}
+	p.decided = true
+	p.decision = cand
+	for port, tree := range p.treePort {
+		if tree && port != p.parentPort {
+			p.send(port, ghsDecision{Cand: cand})
+		}
+	}
+	if math.IsInf(cand.W, 1) {
+		// No outgoing edge: the fragment spans the graph.
+		p.complete = true
+		return
+	}
+	if int(cand.X) == ctx.ID() {
+		for port := 0; port < ctx.Degree(); port++ {
+			if ctx.NeighborID(port) == int(cand.Y) {
+				p.sentMerge = true
+				// The peer's request may already have arrived (it can
+				// decide earlier): detect the mutual core edge now.
+				mutual := p.mergedPort[port]
+				p.mergedPort[port] = true
+				p.run.chosen[ctx.EdgeID(port)] = struct{}{}
+				p.send(port, ghsMergeReq{})
+				if mutual && ctx.ID() > int(cand.Y) {
+					p.startAdoption(ctx)
+				}
+				// If the adoption wave already passed this node, it
+				// must be extended over the just-marked chosen edge.
+				if p.adopted {
+					p.send(port, ghsAdopt{Frag: p.newFrag})
+				}
+				break
+			}
+		}
+	}
+}
+
+// startAdoption makes this node the merged fragment's root and floods the
+// new fragment ID over tree and merge edges.
+func (p *ghsNode) startAdoption(ctx *congest.Ctx) {
+	if p.adopted {
+		return
+	}
+	p.adopted = true
+	p.newFrag = int32(ctx.ID())
+	p.newParent = -1
+	p.forwardAdoption(ctx, -1)
+}
+
+func (p *ghsNode) forwardAdoption(ctx *congest.Ctx, fromPort int) {
+	for port := 0; port < ctx.Degree(); port++ {
+		if port == fromPort {
+			continue
+		}
+		if p.treePort[port] || p.mergedPort[port] {
+			p.send(port, ghsAdopt{Frag: p.newFrag})
+		}
+	}
+}
+
+// GHSNetwork runs the node-program synchronous Borůvka on g and returns
+// the MST with the simulator-measured round count. Weights should be
+// distinct.
+func GHSNetwork(g *graph.Graph, src *rngutil.Source) (*Result, error) {
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("mstbase: %w", graph.ErrDisconnected)
+	}
+	run := &ghsRun{
+		g:      g,
+		window: 3*g.N() + 6,
+		chosen: make(map[int]struct{}, g.N()-1),
+	}
+	net := congest.NewUniformNetwork(g, func(v int) congest.Program {
+		return &ghsNode{run: run}
+	}, src)
+	iterBudget := 2*log2int(g.N()) + 4
+	rounds, err := net.Run(run.window*iterBudget + 2)
+	if err != nil {
+		return nil, fmt.Errorf("mstbase: GHSNetwork: %w", err)
+	}
+	res := &Result{
+		Rounds:     rounds,
+		Iterations: (rounds + run.window - 1) / run.window,
+	}
+	res.Edges = make([]int, 0, len(run.chosen))
+	for id := range run.chosen {
+		res.Edges = append(res.Edges, id)
+	}
+	res.Weight = g.TotalWeight(res.Edges)
+	return res, nil
+}
+
+func log2int(n int) int {
+	return int(math.Ceil(math.Log2(float64(n))))
+}

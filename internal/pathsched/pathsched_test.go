@@ -1,0 +1,140 @@
+package pathsched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/spectral"
+)
+
+func TestEmptyAndTrivial(t *testing.T) {
+	res := Schedule(nil)
+	if res.Makespan != 0 || res.Delivered != 0 {
+		t.Fatalf("empty schedule: %+v", res)
+	}
+	res = Schedule([][]int32{{5}, {}, {7, 7, 7}})
+	if res.Makespan != 0 || res.Delivered != 3 || res.Dilation != 0 {
+		t.Fatalf("trivial paths: %+v", res)
+	}
+}
+
+func TestSinglePath(t *testing.T) {
+	res := Schedule([][]int32{{0, 1, 2, 3}})
+	if res.Makespan != 3 || res.Congestion != 1 || res.Dilation != 3 {
+		t.Fatalf("single path: %+v", res)
+	}
+}
+
+func TestLazyStepsSkipped(t *testing.T) {
+	res := Schedule([][]int32{{0, 0, 1, 1, 2}})
+	if res.Makespan != 2 || res.Dilation != 2 {
+		t.Fatalf("lazy path: %+v", res)
+	}
+}
+
+func TestSharedLinkSerializes(t *testing.T) {
+	// Three packets over the same directed edge: makespan = 3.
+	paths := [][]int32{{0, 1}, {0, 1}, {0, 1}}
+	res := Schedule(paths)
+	if res.Makespan != 3 || res.Congestion != 3 || res.Dilation != 1 {
+		t.Fatalf("shared link: %+v", res)
+	}
+}
+
+func TestOppositeDirectionsDontCollide(t *testing.T) {
+	res := Schedule([][]int32{{0, 1}, {1, 0}})
+	if res.Makespan != 1 {
+		t.Fatalf("opposite directions collided: %+v", res)
+	}
+}
+
+func TestDisjointPathsParallel(t *testing.T) {
+	paths := [][]int32{{0, 1, 2}, {10, 11, 12}, {20, 21, 22}}
+	res := Schedule(paths)
+	if res.Makespan != 2 {
+		t.Fatalf("disjoint paths: %+v", res)
+	}
+}
+
+func TestPipelineOnSharedPath(t *testing.T) {
+	// k packets along the same length-L path pipeline: makespan = L+k−1.
+	k, L := 4, 5
+	path := make([]int32, L+1)
+	for i := range path {
+		path[i] = int32(i)
+	}
+	paths := make([][]int32, k)
+	for i := range paths {
+		paths[i] = path
+	}
+	res := Schedule(paths)
+	if res.Makespan != L+k-1 {
+		t.Fatalf("pipeline makespan %d, want %d", res.Makespan, L+k-1)
+	}
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	r := rngutil.NewRand(3)
+	g := graph.RandomRegular(32, 4, r)
+	src := randomwalk.SourcesPerNode(randomwalk.UniformCountTimesDegree(g, 2))
+	walks := randomwalk.Run(g, src, randomwalk.Config{Kind: spectral.Lazy, Steps: 15, Record: true}, r)
+	paths := make([][]int32, len(walks.Walks))
+	for i, w := range walks.Walks {
+		paths[i] = w.Path
+	}
+	a := Schedule(paths)
+	b := Schedule(paths)
+	if a != b {
+		t.Fatalf("same input, different results: %+v vs %+v", a, b)
+	}
+}
+
+// Property: makespan is bounded below by max(congestion, dilation) and
+// above by congestion·dilation (trivially true for FIFO on fixed paths),
+// and everything is delivered.
+func TestPropertyMakespanBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.NewRand(seed)
+		g := graph.RandomRegular(24, 4, r)
+		src := randomwalk.SourcesPerNode(randomwalk.UniformCountTimesDegree(g, 1))
+		walks := randomwalk.Run(g, src, randomwalk.Config{Kind: spectral.Lazy, Steps: 10, Record: true}, r)
+		paths := make([][]int32, len(walks.Walks))
+		for i, w := range walks.Walks {
+			paths[i] = w.Path
+		}
+		res := Schedule(paths)
+		if res.Delivered != len(paths) {
+			return false
+		}
+		lower := res.Congestion
+		if res.Dilation > lower {
+			lower = res.Dilation
+		}
+		if res.Makespan < lower {
+			return false
+		}
+		if res.Congestion > 0 && res.Makespan > res.Congestion*res.Dilation+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := graph.Ring(6)
+	adjacent := func(a, b int32) bool { return g.HasEdge(int(a), int(b)) }
+	good := [][]int32{{0, 1, 2, 2, 3}}
+	if err := Validate(good, adjacent); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]int32{{0, 3}}
+	if err := Validate(bad, adjacent); err == nil {
+		t.Fatal("invalid path accepted")
+	}
+}

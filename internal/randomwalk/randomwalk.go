@@ -1,0 +1,329 @@
+// Package randomwalk runs many independent random walks in parallel on a
+// graph under CONGEST edge-capacity constraints, implementing the
+// scheduling of Lemmas 2.4 and 2.5 of the paper.
+//
+// Per walk step, every token at a node either stays (laziness) or crosses
+// an incident edge. Each edge can carry one token per direction per
+// CONGEST round, so executing one parallel step costs as many rounds as
+// the most loaded directed edge. The engine executes walks step by step,
+// measures that cost exactly, and records token paths so that walks can be
+// re-run in reverse (the paper's mechanism for turning walk endpoints into
+// usable overlay edges) and re-used as embedded routing paths.
+package randomwalk
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/spectral"
+)
+
+// Walk is one token's trajectory: Path[s] is the node occupied after s
+// steps, so Path[0] is the source and Path[len-1] the endpoint. Equal
+// consecutive entries are lazy (non-moving) steps.
+type Walk struct {
+	Path []int32
+}
+
+// Source returns the walk's start node.
+func (w *Walk) Source() int { return int(w.Path[0]) }
+
+// End returns the walk's final node.
+func (w *Walk) End() int { return int(w.Path[len(w.Path)-1]) }
+
+// Moves returns the number of edge traversals (non-lazy steps).
+func (w *Walk) Moves() int {
+	moves := 0
+	for i := 1; i < len(w.Path); i++ {
+		if w.Path[i] != w.Path[i-1] {
+			moves++
+		}
+	}
+	return moves
+}
+
+// Stats captures the congestion quantities that Lemmas 2.4 and 2.5 bound.
+type Stats struct {
+	// Rounds is the total measured CONGEST rounds to execute all steps:
+	// the sum over steps of the maximum directed-edge load.
+	Rounds int
+	// MaxTokensAtNode is the maximum, over steps and nodes, of tokens
+	// simultaneously at one node (Lemma 2.4's subject).
+	MaxTokensAtNode int
+	// MaxTokensOverDegree is the maximum over steps and nodes of
+	// tokens(v)/d(v), the degree-normalized occupancy.
+	MaxTokensOverDegree float64
+	// PerStepMaxLoad[s] is the maximum directed-edge load in step s
+	// (the measured analogue of Lemma 2.5's O(k+log n) phase length).
+	PerStepMaxLoad []int
+}
+
+// Config controls a parallel walk execution.
+type Config struct {
+	Kind  spectral.WalkKind // Lazy or Regular (2Δ-regular)
+	Steps int               // walk length T
+	// Record keeps full paths (needed for reversal/embedding). When
+	// false only endpoints and statistics are tracked.
+	Record bool
+	// Correlated runs the walks in the negatively-correlated fashion
+	// the paper sketches for the k = o(log n) regime (the full-version
+	// refinement of Lemma 2.5): per step, each node deals its resident
+	// tokens across its transition slots like a shuffled deck instead
+	// of sampling independently, so no edge carries more than ⌈tokens/d⌉
+	// of them and the additive log n congestion term disappears. Each
+	// token's marginal transition distribution is unchanged.
+	Correlated bool
+}
+
+// Result is the outcome of a parallel walk execution.
+type Result struct {
+	Walks []Walk // full paths if cfg.Record, else length-1 stubs updated to endpoints
+	Ends  []int32
+	Stats Stats
+}
+
+// Run executes one walk from each entry of sources (sources[i] = start
+// node of walk i) for cfg.Steps parallel steps, and returns trajectories,
+// endpoints and congestion statistics. The rng drives all token decisions;
+// runs are reproducible given the same rng state.
+func Run(g *graph.Graph, sources []int32, cfg Config, rng *rand.Rand) *Result {
+	if cfg.Steps < 0 {
+		panic("randomwalk: negative step count")
+	}
+	if cfg.Kind != spectral.Lazy && cfg.Kind != spectral.Regular {
+		panic(fmt.Sprintf("randomwalk: unsupported walk kind %v", cfg.Kind))
+	}
+	nWalks := len(sources)
+	res := &Result{
+		Ends: make([]int32, nWalks),
+	}
+	copy(res.Ends, sources)
+	if cfg.Record {
+		res.Walks = make([]Walk, nWalks)
+		for i := range res.Walks {
+			path := make([]int32, 1, cfg.Steps+1)
+			path[0] = sources[i]
+			res.Walks[i].Path = path
+		}
+	}
+	res.Stats.PerStepMaxLoad = make([]int, cfg.Steps)
+
+	delta := g.MaxDegree()
+	edgeLoad := make([]int32, 2*g.M()) // directed: 2*id + dir
+	touched := make([]int32, 0, nWalks)
+	tokensAt := make([]int32, g.N())
+	for _, s := range sources {
+		tokensAt[s]++
+	}
+	res.noteOccupancy(g, tokensAt)
+
+	for step := 0; step < cfg.Steps; step++ {
+		maxLoad := 0
+		applyMove := func(i, v, next, edgeID int) {
+			if next != v {
+				dir := 0
+				if g.Edge(edgeID).V == next {
+					dir = 1
+				}
+				slot := int32(2*edgeID + dir)
+				if edgeLoad[slot] == 0 {
+					touched = append(touched, slot)
+				}
+				edgeLoad[slot]++
+				if int(edgeLoad[slot]) > maxLoad {
+					maxLoad = int(edgeLoad[slot])
+				}
+				tokensAt[v]--
+				tokensAt[next]++
+				res.Ends[i] = int32(next)
+			}
+			if cfg.Record {
+				res.Walks[i].Path = append(res.Walks[i].Path, int32(next))
+			}
+		}
+		if cfg.Correlated {
+			correlatedStep(g, cfg.Kind, res.Ends, delta, rng, applyMove)
+		} else {
+			for i := 0; i < nWalks; i++ {
+				v := int(res.Ends[i])
+				next, edgeID := stepToken(g, cfg.Kind, v, delta, rng)
+				applyMove(i, v, next, edgeID)
+			}
+		}
+		for _, slot := range touched {
+			edgeLoad[slot] = 0
+		}
+		touched = touched[:0]
+		if maxLoad == 0 {
+			maxLoad = 1 // a phase takes at least one round even if all tokens stayed
+		}
+		res.Stats.PerStepMaxLoad[step] = maxLoad
+		res.Stats.Rounds += maxLoad
+		res.noteOccupancy(g, tokensAt)
+	}
+	return res
+}
+
+// correlatedStep advances every token one step with negative correlation:
+// each node deals its resident tokens over a uniformly rotated "deck" of
+// transition slots (d stay slots + d edge slots for the lazy walk;
+// 2Δ−d(v) stay slots + d(v) edge slots for the 2Δ-regular walk), so the
+// per-edge load is at most ⌈tokens/deck⌉ while every token's marginal
+// transition stays exact.
+func correlatedStep(g *graph.Graph, kind spectral.WalkKind, ends []int32, delta int,
+	rng *rand.Rand, applyMove func(i, v, next, edgeID int)) {
+	byNode := make([][]int32, g.N())
+	for i, v := range ends {
+		byNode[v] = append(byNode[v], int32(i))
+	}
+	for v, tokens := range byNode {
+		if len(tokens) == 0 {
+			continue
+		}
+		d := g.Degree(v)
+		if d == 0 {
+			for _, i := range tokens {
+				applyMove(int(i), v, v, -1)
+			}
+			continue
+		}
+		var deckSize, stayCount int
+		switch kind {
+		case spectral.Lazy:
+			deckSize, stayCount = 2*d, d
+		case spectral.Regular:
+			deckSize, stayCount = 2*delta, 2*delta-d
+		default:
+			panic("randomwalk: unsupported walk kind")
+		}
+		// Shuffle tokens, then deal them round-robin from a random
+		// deck offset: position in a random permutation plus a uniform
+		// rotation makes each token's slot marginally uniform.
+		for i := len(tokens) - 1; i > 0; i-- {
+			j := rng.IntN(i + 1)
+			tokens[i], tokens[j] = tokens[j], tokens[i]
+		}
+		offset := rng.IntN(deckSize)
+		for j, tok := range tokens {
+			slot := (offset + j) % deckSize
+			if slot < stayCount {
+				applyMove(int(tok), v, v, -1)
+				continue
+			}
+			h := g.Neighbors(v)[slot-stayCount]
+			applyMove(int(tok), v, h.To, h.EdgeID)
+		}
+	}
+}
+
+// stepToken draws one transition of the configured walk from node v and
+// returns the next node and, if moving, the edge used (-1 when staying).
+func stepToken(g *graph.Graph, kind spectral.WalkKind, v, delta int, rng *rand.Rand) (next, edgeID int) {
+	if g.Degree(v) == 0 {
+		return v, -1 // isolated node: the token can only stay
+	}
+	switch kind {
+	case spectral.Lazy:
+		if rng.Uint64()&1 == 0 {
+			return v, -1
+		}
+		h := g.Neighbors(v)[rng.IntN(g.Degree(v))]
+		return h.To, h.EdgeID
+	case spectral.Regular:
+		r := rng.IntN(2 * delta)
+		if r >= g.Degree(v) {
+			return v, -1
+		}
+		h := g.Neighbors(v)[r]
+		return h.To, h.EdgeID
+	default:
+		panic("randomwalk: unsupported walk kind")
+	}
+}
+
+func (r *Result) noteOccupancy(g *graph.Graph, tokensAt []int32) {
+	for v, c := range tokensAt {
+		if int(c) > r.Stats.MaxTokensAtNode {
+			r.Stats.MaxTokensAtNode = int(c)
+		}
+		if d := g.Degree(v); d > 0 {
+			if ratio := float64(c) / float64(d); ratio > r.Stats.MaxTokensOverDegree {
+				r.Stats.MaxTokensOverDegree = ratio
+			}
+		}
+	}
+}
+
+// SourcesPerNode expands per-node walk counts into a flat source list:
+// counts[v] walks start at node v.
+func SourcesPerNode(counts []int) []int32 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	sources := make([]int32, 0, total)
+	for v, c := range counts {
+		for i := 0; i < c; i++ {
+			sources = append(sources, int32(v))
+		}
+	}
+	return sources
+}
+
+// UniformCountTimesDegree returns the start-count vector k·d_G(v) used by
+// Lemma 2.5's premise.
+func UniformCountTimesDegree(g *graph.Graph, k int) []int {
+	counts := make([]int, g.N())
+	for v := range counts {
+		counts[v] = k * g.Degree(v)
+	}
+	return counts
+}
+
+// ReverseDeliveryRounds measures the CONGEST rounds needed to run the
+// given recorded walks backwards (the mechanism of §3.1.1 for informing
+// sources of their endpoints). By symmetry each reverse step loads edges
+// exactly as the forward step did, so the cost equals replaying the
+// forward schedule; this function recomputes it from the recorded paths
+// for the subset keep of walk indices (nil = all).
+func ReverseDeliveryRounds(g *graph.Graph, walks []Walk, keep []int) int {
+	if keep == nil {
+		keep = make([]int, len(walks))
+		for i := range keep {
+			keep[i] = i
+		}
+	}
+	if len(keep) == 0 {
+		return 0
+	}
+	steps := 0
+	for _, i := range keep {
+		if len(walks[i].Path)-1 > steps {
+			steps = len(walks[i].Path) - 1
+		}
+	}
+	edgeLoad := make(map[int64]int)
+	rounds := 0
+	for s := steps; s >= 1; s-- {
+		clear(edgeLoad)
+		maxLoad := 1
+		for _, i := range keep {
+			path := walks[i].Path
+			if s >= len(path) {
+				continue
+			}
+			from, to := path[s], path[s-1]
+			if from == to {
+				continue
+			}
+			key := int64(from)<<32 | int64(to)
+			edgeLoad[key]++
+			if edgeLoad[key] > maxLoad {
+				maxLoad = edgeLoad[key]
+			}
+		}
+		rounds += maxLoad
+	}
+	return rounds
+}

@@ -1,0 +1,94 @@
+// Package rngutil provides a deterministic, splittable random-number
+// fabric for the simulator.
+//
+// Every component of the simulation (each node program, each walk batch,
+// each algorithm phase) draws from its own independent stream derived from
+// a root seed. Streams are derived by hashing a (seed, label, index) tuple
+// with SplitMix64, so results are reproducible regardless of scheduling
+// order and independent of how many values other components consume.
+package rngutil
+
+import (
+	"math/rand/v2"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 is a well-known 64-bit finalizer-based generator; here it is
+// used only for seed derivation, never as the consumer-facing stream.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashString folds a label into a 64-bit value using FNV-1a.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Source derives child seeds and streams from a root seed.
+type Source struct {
+	seed uint64
+}
+
+// NewSource returns a Source rooted at seed.
+func NewSource(seed uint64) *Source {
+	return &Source{seed: seed}
+}
+
+// Seed returns the root seed of the source.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Derive returns the child seed for (label, index).
+func (s *Source) Derive(label string, index uint64) uint64 {
+	state := s.seed ^ hashString(label)
+	_ = splitMix64(&state)
+	state ^= index * 0xd1342543de82ef95
+	return splitMix64(&state)
+}
+
+// Stream returns an independent *rand.Rand for (label, index).
+func (s *Source) Stream(label string, index uint64) *rand.Rand {
+	seed := s.Derive(label, index)
+	return rand.New(rand.NewPCG(seed, seed^0x5851f42d4c957f2d))
+}
+
+// Child returns a Source whose streams are independent from the parent's
+// other children.
+func (s *Source) Child(label string, index uint64) *Source {
+	return &Source{seed: s.Derive(label, index)}
+}
+
+// NewRand returns a standalone deterministic *rand.Rand for a bare seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, splitMixOnce(seed)))
+}
+
+func splitMixOnce(seed uint64) uint64 {
+	state := seed
+	return splitMix64(&state)
+}
+
+// Perm fills a random permutation of [0,n) using r.
+func Perm(r *rand.Rand, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+package rngutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(42).Stream("walks", 7)
+	b := NewSource(42).Stream("walks", 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamIndependenceByLabel(t *testing.T) {
+	s := NewSource(42)
+	a := s.Stream("walks", 0)
+	b := s.Stream("hash", 0)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws across differently-labeled streams", same)
+	}
+}
+
+func TestStreamIndependenceByIndex(t *testing.T) {
+	s := NewSource(1)
+	if s.Derive("x", 0) == s.Derive("x", 1) {
+		t.Fatal("indices 0 and 1 derived identical seeds")
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	s := NewSource(9)
+	c1 := s.Child("phase", 1)
+	c2 := s.Child("phase", 2)
+	if c1.Seed() == c2.Seed() {
+		t.Fatal("children share seed")
+	}
+	if c1.Seed() == s.Seed() {
+		t.Fatal("child equals parent")
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if NewSource(123).Seed() != 123 {
+		t.Fatal("Seed() mismatch")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, szRaw uint8) bool {
+		n := int(szRaw)%50 + 1
+		p := Perm(NewRand(seed), n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformityRough(t *testing.T) {
+	// Position of element 0 should be roughly uniform over 4 slots.
+	counts := make([]int, 4)
+	for seed := uint64(0); seed < 4000; seed++ {
+		p := Perm(NewRand(seed), 4)
+		for i, v := range p {
+			if v == 0 {
+				counts[i]++
+			}
+		}
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("slot %d count %d far from 1000", i, c)
+		}
+	}
+}

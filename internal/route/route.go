@@ -1,0 +1,261 @@
+// Package route implements the paper's permutation-routing algorithm
+// (§3.2, Theorem 1.2) on a built hierarchical embedding.
+//
+// Packets are first redistributed uniformly over the virtual nodes by a
+// mixing-time random walk (the preparation step), then recursively routed
+// through the partition hierarchy: within each part toward either the
+// final destination (if it lives in the same part) or toward the portal
+// leading to the destination's sibling part, then hopped across a portal
+// edge, then routed recursively inside the destination part. At the leaf
+// level packets travel along breadth-first paths of the leaf overlay.
+//
+// All costs are measured: leaf movement and portal hops are scheduled
+// store-and-forward on overlay links, and each overlay round is converted
+// to base-graph rounds through the measured emulation factors of the
+// hierarchy.
+package route
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"almostmix/internal/embed"
+	"almostmix/internal/pathsched"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/spectral"
+)
+
+// Request is one packet: deliver from physical node SrcNode to the
+// destination's virtual node (DstNode, DstIndex). The source is assumed to
+// know the destination's ID pair, from which the partition label follows
+// via the shared hash (property P2).
+type Request struct {
+	SrcNode  int
+	DstNode  int
+	DstIndex int
+}
+
+// Report is the measured outcome of a routing run.
+type Report struct {
+	// Delivered is the number of packets confirmed at their destination
+	// virtual node (always all of them, or Route returns an error).
+	Delivered int
+	// PrepRounds is the measured base-graph cost of the preparation
+	// walks that spread packets uniformly over virtual nodes.
+	PrepRounds int
+	// G0Rounds is the routing cost in G0 rounds (recursive phases plus
+	// portal hops plus leaf movement, converted via measured per-level
+	// emulation factors).
+	G0Rounds int
+	// BaseRounds is the end-to-end cost in base-graph rounds:
+	// PrepRounds + G0Rounds · (G0 emulation factor).
+	BaseRounds int
+	// HopG0Rounds[l] is the G0-round cost of portal hops at level l+1
+	// (Lemma 3.4's inter-part term, per level — experiment E8).
+	HopG0Rounds []int
+	// LeafG0Rounds is the G0-round cost of leaf-level movement.
+	LeafG0Rounds int
+	// LeafSchedules counts pathsched invocations at the leaf level
+	// (2^k in the worst case, the recursion's 2·T(m/β) shape).
+	LeafSchedules int
+	// MaxPortalLoad is the maximum number of packets hopping over a
+	// single portal edge in one phase.
+	MaxPortalLoad int
+}
+
+// router carries the mutable state of one routing run.
+type router struct {
+	h       *embed.Hierarchy
+	cur     []int32 // packet -> current virtual node
+	dst     []int32 // packet -> destination virtual node
+	rng     *rand.Rand
+	report  *Report
+	leafAdj *partBFS
+	// trace, when non-nil, records every overlay-edge traversal per
+	// packet for RouteExact's full expansion.
+	trace [][]traversal
+}
+
+// Route delivers all requests and returns the measured cost report. Each
+// destination virtual index must exist (DstIndex < degree of DstNode).
+func Route(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*Report, error) {
+	r := &router{
+		h:   h,
+		cur: make([]int32, len(reqs)),
+		dst: make([]int32, len(reqs)),
+		rng: src.Stream("route", 0),
+		report: &Report{
+			HopG0Rounds: make([]int, h.Levels),
+		},
+	}
+	for i, req := range reqs {
+		if req.DstIndex < 0 || req.DstIndex >= h.VM.DegreeOf(req.DstNode) {
+			return nil, fmt.Errorf("route: request %d: node %d has no virtual index %d",
+				i, req.DstNode, req.DstIndex)
+		}
+		r.dst[i] = h.VM.VID(req.DstNode, req.DstIndex)
+	}
+
+	r.prepare(reqs, src)
+	r.leafAdj = newPartBFS(h.Overlay(h.Levels))
+
+	pkts := make([]int, len(reqs))
+	for i := range pkts {
+		pkts[i] = i
+	}
+	cost, err := r.route(0, pkts, r.dst)
+	if err != nil {
+		return nil, err
+	}
+	r.report.G0Rounds = cost
+	r.report.BaseRounds = r.report.PrepRounds + cost*h.G0.EmulationRounds
+	for i := range reqs {
+		if r.cur[i] != r.dst[i] {
+			return nil, fmt.Errorf("route: packet %d stranded at vid %d, wanted %d", i, r.cur[i], r.dst[i])
+		}
+	}
+	r.report.Delivered = len(reqs)
+	return r.report, nil
+}
+
+// prepare runs the §3.2 preparation step: one lazy walk of mixing-time
+// length per packet from its source, landing each packet on a uniformly
+// random virtual node.
+func (r *router) prepare(reqs []Request, src *rngutil.Source) {
+	sources := make([]int32, len(reqs))
+	for i, req := range reqs {
+		sources[i] = int32(req.SrcNode)
+	}
+	res := randomwalk.Run(r.h.Base, sources, randomwalk.Config{
+		Kind:  spectral.Lazy,
+		Steps: r.h.TauMix,
+	}, src.Stream("prep", 0))
+	for i := range reqs {
+		end := int(res.Ends[i])
+		r.cur[i] = r.h.VM.VID(end, r.rng.IntN(r.h.VM.DegreeOf(end)))
+	}
+	r.report.PrepRounds = res.Stats.Rounds
+}
+
+// route recursively delivers packets pkts to targets, all of which lie in
+// the same level-`level` part as the packets' current positions. It
+// returns the measured cost in G0 rounds.
+func (r *router) route(level int, pkts []int, targets []int32) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	if level == r.h.Levels {
+		return r.routeLeaf(pkts, targets)
+	}
+	next := level + 1
+	o := r.h.Overlay(next)
+	portals := r.h.PortalsAt(next)
+
+	// Phase A: local packets head to their final target; crossing
+	// packets head to their portal toward the destination's digit.
+	phaseATargets := make([]int32, len(pkts))
+	crossing := make([]int, 0, len(pkts))
+	crossEdges := make([]int32, len(pkts)) // per pkt position in pkts
+	for idx, p := range pkts {
+		cur, dst := r.cur[p], targets[idx]
+		if o.SamePart(cur, dst) {
+			phaseATargets[idx] = dst
+			crossEdges[idx] = -1
+			continue
+		}
+		ref := portals.Get(cur, int(o.Digit[dst]))
+		if ref.Portal < 0 {
+			return 0, fmt.Errorf("route: no portal from vid %d toward digit %d at level %d",
+				cur, o.Digit[dst], next)
+		}
+		phaseATargets[idx] = ref.Portal
+		crossEdges[idx] = ref.CrossEdge
+		crossing = append(crossing, idx)
+	}
+	cost, err := r.route(next, pkts, phaseATargets)
+	if err != nil {
+		return 0, err
+	}
+
+	if len(crossing) == 0 {
+		return cost, nil
+	}
+
+	// Hop: crossing packets traverse their portal's overlay-`level`
+	// edge. Each directed overlay edge carries one packet per
+	// overlay-`level` round, so the hop costs the maximum per-edge load.
+	below := r.h.Overlay(level)
+	load := make(map[int32]int, len(crossing))
+	maxLoad := 0
+	for _, idx := range crossing {
+		p := pkts[idx]
+		e := crossEdges[idx]
+		edge := below.Graph.Edge(int(e))
+		other := int32(edge.U)
+		if other == r.cur[p] {
+			other = int32(edge.V)
+		}
+		if r.trace != nil {
+			r.trace[p] = append(r.trace[p], traversal{
+				level: level, edge: e, from: r.cur[p], to: other,
+			})
+		}
+		r.cur[p] = other
+		load[e]++
+		if load[e] > maxLoad {
+			maxLoad = load[e]
+		}
+	}
+	if maxLoad > r.report.MaxPortalLoad {
+		r.report.MaxPortalLoad = maxLoad
+	}
+	hopG0 := maxLoad * r.h.EmulationToG0(level)
+	r.report.HopG0Rounds[level] += hopG0 // hop happens between level-(level+1) parts over G_level edges
+	cost += hopG0
+
+	// Phase B: crossing packets finish inside the destination part.
+	bPkts := make([]int, len(crossing))
+	bTargets := make([]int32, len(crossing))
+	for i, idx := range crossing {
+		bPkts[i] = pkts[idx]
+		bTargets[i] = targets[idx]
+	}
+	bCost, err := r.route(next, bPkts, bTargets)
+	if err != nil {
+		return 0, err
+	}
+	return cost + bCost, nil
+}
+
+// routeLeaf moves packets along BFS paths of the leaf overlay and returns
+// the measured cost in G0 rounds.
+func (r *router) routeLeaf(pkts []int, targets []int32) (int, error) {
+	paths := make([][]int32, 0, len(pkts))
+	for idx, p := range pkts {
+		if r.cur[p] == targets[idx] {
+			continue
+		}
+		path, err := r.leafAdj.path(r.cur[p], targets[idx])
+		if err != nil {
+			return 0, err
+		}
+		if r.trace != nil {
+			for j := 1; j < len(path); j++ {
+				r.trace[p] = append(r.trace[p], traversal{
+					level: r.h.Levels, edge: -1, from: path[j-1], to: path[j],
+				})
+			}
+		}
+		paths = append(paths, path)
+		r.cur[p] = targets[idx]
+	}
+	if len(paths) == 0 {
+		return 0, nil
+	}
+	res := pathsched.Schedule(paths)
+	r.report.LeafSchedules++
+	leafG0 := res.Makespan * r.h.EmulationToG0(r.h.Levels)
+	r.report.LeafG0Rounds += leafG0
+	return leafG0, nil
+}

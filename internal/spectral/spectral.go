@@ -1,0 +1,492 @@
+// Package spectral computes the expansion and mixing quantities the paper
+// parameterizes its bounds by: the lazy and 2Δ-regular random-walk mixing
+// times (Definition 2.1/2.2), edge expansion h(G), conductance φ(G), and
+// spectral estimates of all of these for graphs too large for exact
+// computation.
+//
+// Exact quantities are computed by dense evolution of walk distributions
+// (mixing times) and subset enumeration (expansion, n ≤ 24). Estimates use
+// power iteration for the second eigenvalue and Fiedler-vector sweep cuts.
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"almostmix/internal/graph"
+)
+
+// WalkKind selects which random walk a computation refers to.
+type WalkKind int
+
+const (
+	// Lazy is the standard lazy walk: stay with probability 1/2,
+	// otherwise move to a uniform neighbor. Its stationary distribution
+	// is proportional to degrees (Definition 2.1).
+	Lazy WalkKind = iota + 1
+	// Regular is the 2Δ-regular walk of Definition 2.2: stay with
+	// probability 1 − d(v)/(2Δ), move along each incident edge with
+	// probability 1/(2Δ). Its stationary distribution is uniform.
+	Regular
+)
+
+func (k WalkKind) String() string {
+	switch k {
+	case Lazy:
+		return "lazy"
+	case Regular:
+		return "2Δ-regular"
+	default:
+		return fmt.Sprintf("WalkKind(%d)", int(k))
+	}
+}
+
+// Stationary returns the stationary distribution of the walk on g.
+func Stationary(g *graph.Graph, kind WalkKind) []float64 {
+	n := g.N()
+	pi := make([]float64, n)
+	switch kind {
+	case Lazy:
+		twoM := float64(2 * g.M())
+		for v := 0; v < n; v++ {
+			pi[v] = float64(g.Degree(v)) / twoM
+		}
+	case Regular:
+		for v := 0; v < n; v++ {
+			pi[v] = 1 / float64(n)
+		}
+	default:
+		panic("spectral: unknown walk kind")
+	}
+	return pi
+}
+
+// Step advances a probability distribution (or any vector) by one step of
+// the transpose walk operator: out[u] = Σ_v dist[v]·P(v,u). It allocates
+// and returns the next vector.
+func Step(g *graph.Graph, kind WalkKind, dist []float64) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	switch kind {
+	case Lazy:
+		for v := 0; v < n; v++ {
+			p := dist[v]
+			if p == 0 {
+				continue
+			}
+			out[v] += p / 2
+			share := p / (2 * float64(g.Degree(v)))
+			for _, h := range g.Neighbors(v) {
+				out[h.To] += share
+			}
+		}
+	case Regular:
+		delta := float64(g.MaxDegree())
+		for v := 0; v < n; v++ {
+			p := dist[v]
+			if p == 0 {
+				continue
+			}
+			d := float64(g.Degree(v))
+			out[v] += p * (1 - d/(2*delta))
+			share := p / (2 * delta)
+			for _, h := range g.Neighbors(v) {
+				out[h.To] += share
+			}
+		}
+	default:
+		panic("spectral: unknown walk kind")
+	}
+	return out
+}
+
+// ErrNotMixed is returned when the mixing criterion was not reached within
+// the step budget.
+var ErrNotMixed = errors.New("spectral: walk did not mix within the step budget")
+
+// mixed reports whether dist satisfies the Definition 2.1 criterion
+// |dist(u) − π(u)| ≤ π(u)/n for all u.
+func mixed(dist, pi []float64, n int) bool {
+	for u := range dist {
+		if math.Abs(dist[u]-pi[u]) > pi[u]/float64(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// MixingTimeFrom returns the minimum t such that the walk started at src
+// satisfies the Definition 2.1 closeness criterion, evolving the exact
+// distribution. It returns ErrNotMixed if maxT steps do not suffice.
+func MixingTimeFrom(g *graph.Graph, kind WalkKind, src, maxT int) (int, error) {
+	n := g.N()
+	pi := Stationary(g, kind)
+	dist := make([]float64, n)
+	dist[src] = 1
+	if mixed(dist, pi, n) {
+		return 0, nil
+	}
+	for t := 1; t <= maxT; t++ {
+		dist = Step(g, kind, dist)
+		if mixed(dist, pi, n) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("from node %d after %d steps: %w", src, maxT, ErrNotMixed)
+}
+
+// MixingTime returns the exact mixing time per Definition 2.1: the minimum
+// t at which every start node's distribution is close to stationary. It
+// evolves one distribution per start node; cost O(n·(n+m)) per step.
+func MixingTime(g *graph.Graph, kind WalkKind, maxT int) (int, error) {
+	n := g.N()
+	pi := Stationary(g, kind)
+	dists := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		dists[v] = make([]float64, n)
+		dists[v][v] = 1
+	}
+	pending := make([]int, 0, n) // start nodes not yet mixed
+	for v := 0; v < n; v++ {
+		if !mixed(dists[v], pi, n) {
+			pending = append(pending, v)
+		}
+	}
+	if len(pending) == 0 {
+		return 0, nil
+	}
+	for t := 1; t <= maxT; t++ {
+		// All start nodes must satisfy the criterion at the *same* t;
+		// for lazy/regular walks the total-variation distance is
+		// non-increasing, so once a source mixes it stays mixed and we
+		// can drop it from the pending set. (Definition 2.1 asks for
+		// pointwise closeness, which for these aperiodic reversible
+		// walks is monotone in practice; tests cross-check small cases
+		// by keeping all sources when n ≤ 64.)
+		keep := pending[:0]
+		for _, v := range pending {
+			dists[v] = Step(g, kind, dists[v])
+			if !mixed(dists[v], pi, n) {
+				keep = append(keep, v)
+			}
+		}
+		pending = keep
+		if len(pending) == 0 {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("%d sources unmixed after %d steps: %w", len(pending), maxT, ErrNotMixed)
+}
+
+// SecondEigenvalue estimates λ₂, the second-largest eigenvalue of the walk
+// operator, by power iteration on functions kept π-orthogonal to the
+// constant eigenfunction. Both walk kinds are reversible, so eigenvalues
+// are real; laziness makes them nonnegative.
+func SecondEigenvalue(g *graph.Graph, kind WalkKind, iters int) float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	pi := Stationary(g, kind)
+	// Deterministic non-degenerate start vector.
+	f := make([]float64, n)
+	for v := 0; v < n; v++ {
+		f[v] = math.Sin(float64(3*v + 1))
+	}
+	projectOut(f, pi)
+	normalize(f)
+	lambda := 0.0
+	for i := 0; i < iters; i++ {
+		f = applyToFunction(g, kind, f)
+		projectOut(f, pi)
+		lambda = norm(f)
+		if lambda == 0 {
+			return 0
+		}
+		normalize(f)
+	}
+	return lambda
+}
+
+// applyToFunction computes (P f)(v) = Σ_u P(v,u) f(u).
+func applyToFunction(g *graph.Graph, kind WalkKind, f []float64) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	switch kind {
+	case Lazy:
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, h := range g.Neighbors(v) {
+				sum += f[h.To]
+			}
+			out[v] = f[v]/2 + sum/(2*float64(g.Degree(v)))
+		}
+	case Regular:
+		delta := float64(g.MaxDegree())
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, h := range g.Neighbors(v) {
+				sum += f[h.To]
+			}
+			d := float64(g.Degree(v))
+			out[v] = f[v]*(1-d/(2*delta)) + sum/(2*delta)
+		}
+	default:
+		panic("spectral: unknown walk kind")
+	}
+	return out
+}
+
+// projectOut removes the π-weighted mean from f, keeping it orthogonal to
+// the constant eigenfunction in the π inner product.
+func projectOut(f, pi []float64) {
+	mean := 0.0
+	for v := range f {
+		mean += pi[v] * f[v]
+	}
+	for v := range f {
+		f[v] -= mean
+	}
+}
+
+func norm(f []float64) float64 {
+	s := 0.0
+	for _, x := range f {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(f []float64) {
+	n := norm(f)
+	if n == 0 {
+		return
+	}
+	for i := range f {
+		f[i] /= n
+	}
+}
+
+// MixingTimeEstimate returns a spectral upper estimate of the mixing time:
+// t ≈ ln(n / (ε·π_min)) / (1 − λ₂) with ε the Definition 2.1 slack
+// π_min/n. For graphs where the exact computation is infeasible this is
+// the quantity experiments report, and tests confirm it brackets the exact
+// value on small graphs.
+func MixingTimeEstimate(g *graph.Graph, kind WalkKind) int {
+	lambda := SecondEigenvalue(g, kind, 200)
+	if lambda >= 1 {
+		lambda = 1 - 1e-9
+	}
+	pi := Stationary(g, kind)
+	piMin := math.Inf(1)
+	for _, p := range pi {
+		if p < piMin {
+			piMin = p
+		}
+	}
+	t := math.Log(float64(g.N())/(piMin*piMin)) / (1 - lambda)
+	return int(math.Ceil(t))
+}
+
+// EdgeExpansion computes h(G) = min_{1≤|S|≤n/2} e(S,V\S)/|S| exactly by
+// enumerating subsets with a Gray-code walk. Feasible for n ≤ 24.
+func EdgeExpansion(g *graph.Graph) float64 {
+	n := g.N()
+	if n > 24 {
+		panic("spectral: exact edge expansion limited to n <= 24")
+	}
+	if n < 2 {
+		return 0
+	}
+	best := math.Inf(1)
+	inS := make([]bool, n)
+	cut, size := 0, 0
+	// Gray code: flipping one node changes the cut by its degree minus
+	// twice its edges into the current S.
+	total := 1 << n
+	for i := 1; i < total; i++ {
+		v := trailingZeros(i)
+		intoS := 0
+		for _, h := range g.Neighbors(v) {
+			if inS[h.To] {
+				intoS++
+			}
+		}
+		if inS[v] {
+			inS[v] = false
+			size--
+			cut -= g.Degree(v) - 2*intoS
+		} else {
+			inS[v] = true
+			size++
+			cut += g.Degree(v) - 2*intoS
+		}
+		if size >= 1 && size <= n/2 {
+			if ratio := float64(cut) / float64(size); ratio < best {
+				best = ratio
+			}
+		}
+	}
+	return best
+}
+
+// Conductance computes φ(G) = min_{vol(S)≤m} e(S,V\S)/vol(S) exactly by
+// subset enumeration. Feasible for n ≤ 24.
+func Conductance(g *graph.Graph) float64 {
+	n := g.N()
+	if n > 24 {
+		panic("spectral: exact conductance limited to n <= 24")
+	}
+	if n < 2 {
+		return 0
+	}
+	m := g.M()
+	best := math.Inf(1)
+	inS := make([]bool, n)
+	cut, vol := 0, 0
+	total := 1 << n
+	for i := 1; i < total; i++ {
+		v := trailingZeros(i)
+		intoS := 0
+		for _, h := range g.Neighbors(v) {
+			if inS[h.To] {
+				intoS++
+			}
+		}
+		if inS[v] {
+			inS[v] = false
+			vol -= g.Degree(v)
+			cut -= g.Degree(v) - 2*intoS
+		} else {
+			inS[v] = true
+			vol += g.Degree(v)
+			cut += g.Degree(v) - 2*intoS
+		}
+		if vol >= 1 && vol <= m {
+			if ratio := float64(cut) / float64(vol); ratio < best {
+				best = ratio
+			}
+		}
+	}
+	return best
+}
+
+func trailingZeros(i int) int {
+	z := 0
+	for i&1 == 0 {
+		i >>= 1
+		z++
+	}
+	return z
+}
+
+// EdgeExpansionSweep estimates h(G) from above by a sweep cut over the
+// approximate second eigenvector of the lazy walk (Fiedler ordering). The
+// returned value is the expansion of an actual cut, hence always an upper
+// bound on h(G).
+func EdgeExpansionSweep(g *graph.Graph) float64 {
+	h, _ := sweepCut(g, func(cut, size, _ int) float64 {
+		return float64(cut) / float64(size)
+	}, func(size, vol, n, m int) bool { return size >= 1 && size <= n/2 })
+	return h
+}
+
+// ConductanceSweep estimates φ(G) from above by a Fiedler sweep cut.
+func ConductanceSweep(g *graph.Graph) float64 {
+	phi, _ := sweepCut(g, func(cut, _, vol int) float64 {
+		return float64(cut) / float64(vol)
+	}, func(size, vol, n, m int) bool { return vol >= 1 && vol <= m })
+	return phi
+}
+
+// sweepCut orders nodes by the approximate Fiedler vector and scans all
+// prefixes, returning the best objective value and the prefix size.
+func sweepCut(g *graph.Graph, objective func(cut, size, vol int) float64,
+	admissible func(size, vol, n, m int) bool) (float64, int) {
+	n := g.N()
+	if n < 2 {
+		return 0, 0
+	}
+	pi := Stationary(g, Lazy)
+	f := make([]float64, n)
+	for v := 0; v < n; v++ {
+		f[v] = math.Sin(float64(3*v + 1))
+	}
+	projectOut(f, pi)
+	normalize(f)
+	for i := 0; i < 120; i++ {
+		f = applyToFunction(g, Lazy, f)
+		projectOut(f, pi)
+		normalize(f)
+	}
+	order := argsort(f)
+	inS := make([]bool, n)
+	best := math.Inf(1)
+	bestSize := 0
+	cut, vol := 0, 0
+	for size := 1; size < n; size++ {
+		v := order[size-1]
+		intoS := 0
+		for _, h := range g.Neighbors(v) {
+			if inS[h.To] {
+				intoS++
+			}
+		}
+		inS[v] = true
+		vol += g.Degree(v)
+		cut += g.Degree(v) - 2*intoS
+		if admissible(size, vol, n, g.M()) {
+			if obj := objective(cut, size, vol); obj < best {
+				best = obj
+				bestSize = size
+			}
+		}
+	}
+	return best, bestSize
+}
+
+func argsort(f []float64) []int {
+	order := make([]int, len(f))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion-free sort via sort.Slice is avoided to keep the import
+	// list minimal; a simple heapless quicksort suffices here.
+	quickArgsort(f, order, 0, len(order)-1)
+	return order
+}
+
+func quickArgsort(f []float64, order []int, lo, hi int) {
+	for lo < hi {
+		p := f[order[(lo+hi)/2]]
+		i, j := lo, hi
+		for i <= j {
+			for f[order[i]] < p {
+				i++
+			}
+			for f[order[j]] > p {
+				j--
+			}
+			if i <= j {
+				order[i], order[j] = order[j], order[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickArgsort(f, order, lo, j)
+			lo = i
+		} else {
+			quickArgsort(f, order, i, hi)
+			hi = j
+		}
+	}
+}
+
+// Lemma23Bound returns the Lemma 2.3 upper bound 8·Δ²·ln(n)/h² on the
+// 2Δ-regular mixing time, given the edge expansion h.
+func Lemma23Bound(g *graph.Graph, h float64) float64 {
+	delta := float64(g.MaxDegree())
+	return 8 * delta * delta * math.Log(float64(g.N())) / (h * h)
+}

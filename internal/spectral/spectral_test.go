@@ -1,0 +1,274 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStationarySums(t *testing.T) {
+	g := graph.Lollipop(6, 4)
+	for _, kind := range []WalkKind{Lazy, Regular} {
+		pi := Stationary(g, kind)
+		sum := 0.0
+		for _, p := range pi {
+			sum += p
+		}
+		if !almostEqual(sum, 1, 1e-12) {
+			t.Fatalf("%v stationary sums to %v", kind, sum)
+		}
+	}
+}
+
+func TestStationaryShapes(t *testing.T) {
+	g := graph.Star(5)
+	pi := Stationary(g, Lazy)
+	// Center has degree 4 of 2m=8.
+	if !almostEqual(pi[0], 0.5, 1e-12) {
+		t.Fatalf("star center stationary %v, want 0.5", pi[0])
+	}
+	piR := Stationary(g, Regular)
+	for v, p := range piR {
+		if !almostEqual(p, 0.2, 1e-12) {
+			t.Fatalf("regular stationary at %d is %v, want 0.2", v, p)
+		}
+	}
+}
+
+func TestStepPreservesMass(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.NewRand(seed)
+		g, err := graph.ConnectedGnp(24, 0.25, r)
+		if err != nil {
+			return true // skip rare disconnected draw
+		}
+		dist := make([]float64, g.N())
+		dist[int(seed%uint64(g.N()))] = 1
+		for _, kind := range []WalkKind{Lazy, Regular} {
+			d := dist
+			for s := 0; s < 5; s++ {
+				d = Step(g, kind, d)
+			}
+			sum := 0.0
+			for _, p := range d {
+				sum += p
+				if p < 0 {
+					return false
+				}
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepConvergesToStationary(t *testing.T) {
+	g := graph.Lollipop(5, 3)
+	for _, kind := range []WalkKind{Lazy, Regular} {
+		pi := Stationary(g, kind)
+		dist := make([]float64, g.N())
+		dist[g.N()-1] = 1
+		for s := 0; s < 3000; s++ {
+			dist = Step(g, kind, dist)
+		}
+		for v := range dist {
+			if !almostEqual(dist[v], pi[v], 1e-9) {
+				t.Fatalf("%v: node %d has %v, stationary %v", kind, v, dist[v], pi[v])
+			}
+		}
+	}
+}
+
+func TestMixingTimeCompleteIsSmall(t *testing.T) {
+	g := graph.Complete(16)
+	tm, err := MixingTime(g, Lazy, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 1 || tm > 25 {
+		t.Fatalf("K16 lazy mixing time %d, expected small", tm)
+	}
+}
+
+func TestMixingTimeRingScales(t *testing.T) {
+	t8, err := MixingTime(graph.Ring(8), Lazy, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := MixingTime(graph.Ring(16), Lazy, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring mixing grows quadratically; 16 vs 8 should be ≥ 2.5x.
+	if float64(t16) < 2.5*float64(t8) {
+		t.Fatalf("ring mixing times %d (n=8) vs %d (n=16): no quadratic growth", t8, t16)
+	}
+}
+
+func TestMixingTimeFromMatchesGlobal(t *testing.T) {
+	g := graph.Lollipop(6, 6)
+	global, err := MixingTime(g, Lazy, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0
+	for v := 0; v < g.N(); v++ {
+		tv, err := MixingTimeFrom(g, Lazy, v, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv > worst {
+			worst = tv
+		}
+	}
+	if worst != global {
+		t.Fatalf("max per-source mixing %d != global %d", worst, global)
+	}
+}
+
+func TestMixingTimeBudgetError(t *testing.T) {
+	if _, err := MixingTime(graph.Ring(32), Lazy, 3); err == nil {
+		t.Fatal("expected ErrNotMixed for tiny budget")
+	}
+}
+
+func TestSecondEigenvalueComplete(t *testing.T) {
+	// Lazy walk on K_n: λ2 = 1/2 − 1/(2(n−1)).
+	n := 16
+	want := 0.5 - 1/(2*float64(n-1))
+	got := SecondEigenvalue(graph.Complete(n), Lazy, 300)
+	if !almostEqual(got, want, 1e-6) {
+		t.Fatalf("λ2(K16 lazy) = %v, want %v", got, want)
+	}
+}
+
+func TestSecondEigenvalueRing(t *testing.T) {
+	// Lazy walk on C_n: λ2 = 1/2 + cos(2π/n)/2.
+	n := 12
+	want := 0.5 + math.Cos(2*math.Pi/float64(n))/2
+	got := SecondEigenvalue(graph.Ring(n), Lazy, 4000)
+	if !almostEqual(got, want, 1e-4) {
+		t.Fatalf("λ2(C12 lazy) = %v, want %v", got, want)
+	}
+}
+
+func TestEdgeExpansionKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want float64
+	}{
+		{"K8", graph.Complete(8), 4},            // n−|S| minimized at |S|=n/2
+		{"ring12", graph.Ring(12), 2.0 / 6.0},   // arc cut
+		{"barbell4", graph.Barbell(4, 0), 0.25}, // bridge / clique size
+		{"path6", graph.Path(6), 1.0 / 3.0},     // split in the middle
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := EdgeExpansion(tc.g)
+			if !almostEqual(got, tc.want, 1e-12) {
+				t.Fatalf("h = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConductanceKnownValues(t *testing.T) {
+	// Ring: cut 2 over volume n (arc of n/2 nodes, each degree 2).
+	got := Conductance(graph.Ring(12))
+	if !almostEqual(got, 2.0/12.0, 1e-12) {
+		t.Fatalf("φ(C12) = %v, want 1/6", got)
+	}
+	// Barbell(4,0): S = one clique, cut 1, vol = 4·3+1 = 13.
+	got = Conductance(graph.Barbell(4, 0))
+	if !almostEqual(got, 1.0/13.0, 1e-12) {
+		t.Fatalf("φ(barbell) = %v, want 1/13", got)
+	}
+}
+
+func TestSweepUpperBounds(t *testing.T) {
+	r := rngutil.NewRand(11)
+	graphs := map[string]*graph.Graph{
+		"ring16":     graph.Ring(16),
+		"barbell6":   graph.Barbell(6, 0),
+		"lollipop":   graph.Lollipop(8, 8),
+		"rr16":       graph.RandomRegular(16, 4, r),
+		"torus(4x4)": func() *graph.Graph { return graph.Torus(4, 4) }(),
+	}
+	for name, g := range graphs {
+		exact := EdgeExpansion(g)
+		sweep := EdgeExpansionSweep(g)
+		if sweep < exact-1e-9 {
+			t.Fatalf("%s: sweep %v below exact %v", name, sweep, exact)
+		}
+		// The Fiedler sweep should be within 3x on these easy graphs.
+		if sweep > 3*exact+1e-9 {
+			t.Fatalf("%s: sweep %v too loose vs exact %v", name, sweep, exact)
+		}
+		exactPhi := Conductance(g)
+		sweepPhi := ConductanceSweep(g)
+		if sweepPhi < exactPhi-1e-9 {
+			t.Fatalf("%s: conductance sweep %v below exact %v", name, sweepPhi, exactPhi)
+		}
+	}
+}
+
+func TestLemma23BoundHolds(t *testing.T) {
+	// τ̄_mix ≤ 8Δ²·ln(n)/h² (Lemma 2.3) on assorted small graphs.
+	r := rngutil.NewRand(13)
+	graphs := map[string]*graph.Graph{
+		"ring14":   graph.Ring(14),
+		"K10":      graph.Complete(10),
+		"barbell5": graph.Barbell(5, 0),
+		"rr18":     graph.RandomRegular(18, 4, r),
+		"star12":   graph.Star(12),
+	}
+	for name, g := range graphs {
+		h := EdgeExpansion(g)
+		bound := Lemma23Bound(g, h)
+		tm, err := MixingTime(g, Regular, int(bound)+10)
+		if err != nil {
+			t.Fatalf("%s: %v (bound %v)", name, err, bound)
+		}
+		if float64(tm) > bound {
+			t.Fatalf("%s: τ̄_mix = %d exceeds Lemma 2.3 bound %v", name, tm, bound)
+		}
+	}
+}
+
+func TestMixingTimeEstimateBrackets(t *testing.T) {
+	// The spectral estimate should be ≥ the exact mixing time (it is an
+	// upper-bound-style estimate) and not absurdly loose on expanders.
+	r := rngutil.NewRand(17)
+	g := graph.RandomRegular(24, 4, r)
+	exact, err := MixingTime(g, Lazy, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := MixingTimeEstimate(g, Lazy)
+	if est < exact {
+		t.Fatalf("estimate %d below exact %d", est, exact)
+	}
+	if est > 60*exact {
+		t.Fatalf("estimate %d wildly above exact %d", est, exact)
+	}
+}
+
+func TestWalkKindString(t *testing.T) {
+	if Lazy.String() != "lazy" || Regular.String() != "2Δ-regular" {
+		t.Fatal("WalkKind strings wrong")
+	}
+	if WalkKind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}

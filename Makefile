@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the CI gate: vet, the full test
+# suite, and the race-instrumented run. The race target uses -short so the
+# heavyweight differential sweeps keep the instrumented run fast; drop the
+# flag (make race SHORT=) for the exhaustive version.
+
+SHORT ?= -short
+
+.PHONY: build vet test race check bench fuzz
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race $(SHORT) ./...
+
+check: vet test race
+
+bench:
+	go test -run xxx -bench . -benchmem ./...
+
+# Continuous fuzzing of the simulator's round engines (30s; the committed
+# f.Add corpus always runs as part of `make test`).
+fuzz:
+	go test -run xxx -fuzz FuzzNetworkRun -fuzztime 30s ./internal/congest

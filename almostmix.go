@@ -153,6 +153,14 @@ func MSTBaselineGHSNetwork(g *Graph, seed uint64) (*BaselineResult, error) {
 	return mstbase.GHSNetwork(g, rngutil.NewSource(seed))
 }
 
+// MSTBaselineGHSNetworkParallel is MSTBaselineGHSNetwork on the parallel
+// round engine with the given worker count (1 = sequential reference,
+// <= 0 = one worker per CPU). Rounds and results are bit-identical for
+// every worker count; only wall-clock time changes.
+func MSTBaselineGHSNetworkParallel(g *Graph, seed uint64, workers int) (*BaselineResult, error) {
+	return mstbase.GHSNetworkParallel(g, rngutil.NewSource(seed), workers)
+}
+
 // EmulateClique delivers one message between every ordered node pair via
 // the hierarchy (Theorem 1.3).
 func EmulateClique(h *Hierarchy, seed uint64) (*CliqueResult, error) {

@@ -1,0 +1,53 @@
+package almostmix
+
+// BenchmarkCongestEngine measures simulator throughput (rounds/sec of
+// wall-clock, not CONGEST rounds) on a message-heavy workload: k·d(v)
+// parallel random walks run as genuine node programs on a 2048-node
+// random-regular graph. Sub-benchmarks sweep the worker count of the
+// parallel round engine against the sequential reference; the simulated
+// results (rounds, messages, arrival histogram) are bit-identical across
+// all of them, so the only quantity under test is wall-clock speed.
+// Numbers for this host are recorded in EXPERIMENTS.md (E13).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+)
+
+type engineBenchFx struct {
+	g      *graph.Graph
+	counts []int
+}
+
+var engineBenchShared = sync.OnceValue(func() *engineBenchFx {
+	g := graph.RandomRegular(2048, 8, rngutil.NewRand(131))
+	return &engineBenchFx{g: g, counts: randomwalk.UniformCountTimesDegree(g, 1)}
+})
+
+func BenchmarkCongestEngine(b *testing.B) {
+	fx := engineBenchShared()
+	const steps = 20
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := randomwalk.RunNetwork(fx.g, fx.counts, steps,
+					rngutil.NewSource(131), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}

@@ -39,6 +39,12 @@ type Inbound struct {
 // exactly the knowledge the CONGEST model grants a node: its ID, its
 // incident edges (ports) with the IDs of the neighbors across them, the
 // total node count, and a private random stream.
+//
+// All mutable per-node state (outboxes, halt flags, message counts) lives
+// here rather than on the Network, so that the parallel engine can shard
+// nodes across workers without any shared-counter data races: each Ctx is
+// touched by exactly one worker per phase, and network-wide totals are
+// aggregated from the per-node shards.
 type Ctx struct {
 	id     int
 	net    *Network
@@ -47,6 +53,7 @@ type Ctx struct {
 	sent   []bool
 	halted bool
 	rounds int // rounds observed by this node (== network rounds)
+	msgs   int // messages sent by this node (sharded accounting)
 }
 
 // ID returns the node's identifier.
@@ -88,7 +95,7 @@ func (c *Ctx) Send(port int, payload Message) {
 	}
 	c.sent[port] = true
 	c.outbox[port] = payload
-	c.net.messages++
+	c.msgs++
 }
 
 // Broadcast queues the same message on every port.
@@ -117,9 +124,15 @@ type Network struct {
 	ctxs     []*Ctx
 	programs []Program
 	// portOf[v] maps neighbor u -> port index at v, to route deliveries.
-	portOf   []map[int]int
-	rounds   int
-	messages int
+	portOf []map[int]int
+	// revPort[v][p] is the port index at the neighbor across port p of v
+	// that leads back to v, so delivery never needs a map lookup.
+	revPort [][]int32
+	rounds  int
+	// workers is the engine option consumed by Run and RunUntilQuiet:
+	// 1 (the default) selects the sequential reference engine, >1 the
+	// sharded parallel engine, <=0 one worker per available CPU.
+	workers int
 }
 
 // NewNetwork builds a network over g where node v runs programs[v].
@@ -134,6 +147,8 @@ func NewNetwork(g *graph.Graph, programs []Program, src *rngutil.Source) *Networ
 		ctxs:     make([]*Ctx, g.N()),
 		programs: programs,
 		portOf:   make([]map[int]int, g.N()),
+		revPort:  make([][]int32, g.N()),
+		workers:  1,
 	}
 	for v := 0; v < g.N(); v++ {
 		deg := g.Degree(v)
@@ -147,6 +162,13 @@ func NewNetwork(g *graph.Graph, programs []Program, src *rngutil.Source) *Networ
 		net.portOf[v] = make(map[int]int, deg)
 		for p, h := range g.Neighbors(v) {
 			net.portOf[v][h.To] = p
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		net.revPort[v] = make([]int32, len(nbrs))
+		for p, h := range nbrs {
+			net.revPort[v][p] = int32(net.portOf[h.To][v])
 		}
 	}
 	return net
@@ -165,8 +187,26 @@ func NewUniformNetwork(g *graph.Graph, factory func(v int) Program, src *rngutil
 // Rounds returns the number of rounds executed so far.
 func (n *Network) Rounds() int { return n.rounds }
 
-// Messages returns the total number of messages sent so far.
-func (n *Network) Messages() int { return n.messages }
+// Messages returns the total number of messages sent so far, aggregated
+// from the per-node shards. It must not be called while a run is in
+// flight (no caller does: runs are synchronous).
+func (n *Network) Messages() int {
+	total := 0
+	for _, ctx := range n.ctxs {
+		total += ctx.msgs
+	}
+	return total
+}
+
+// SetWorkers configures the engine used by Run and RunUntilQuiet: 1 (the
+// default) is the sequential reference engine, w > 1 shards nodes across w
+// workers, and w <= 0 selects one worker per available CPU. Results are
+// bit-identical across all settings; only wall-clock time changes. The
+// receiver returns itself so construction can chain.
+func (n *Network) SetWorkers(w int) *Network {
+	n.workers = normalizeWorkers(w)
+	return n
+}
 
 // Graph returns the underlying graph.
 func (n *Network) Graph() *graph.Graph { return n.g }
@@ -176,8 +216,41 @@ func (n *Network) Graph() *graph.Graph { return n.g }
 var ErrRoundLimit = errors.New("congest: round limit reached before all nodes halted")
 
 // Run initializes all programs and executes rounds until every node halts
-// or maxRounds elapse. It returns the number of rounds executed.
+// or maxRounds elapse. It returns the number of rounds executed. The
+// engine is selected by SetWorkers (sequential by default); results are
+// identical either way.
 func (n *Network) Run(maxRounds int) (int, error) {
+	if n.workers > 1 {
+		return n.runParallel(maxRounds, n.workers, false)
+	}
+	return n.runSequential(maxRounds, false)
+}
+
+// RunParallel runs like Run but always on the sharded parallel engine with
+// the given worker count (<= 0 selects one worker per available CPU).
+// Delivery order is canonical (port-sorted at the receiver), so rounds,
+// message counts and final node states are bit-identical to Run for every
+// worker count.
+func (n *Network) RunParallel(maxRounds, workers int) (int, error) {
+	return n.runParallel(maxRounds, normalizeWorkers(workers), false)
+}
+
+// RunUntilQuiet runs like Run but also terminates (successfully) after a
+// round in which no node sent any message, which is the natural stopping
+// condition for flooding-style algorithms whose nodes cannot detect global
+// termination locally. Like Run it consumes the SetWorkers engine option.
+func (n *Network) RunUntilQuiet(maxRounds int) (int, error) {
+	if n.workers > 1 {
+		return n.runParallel(maxRounds, n.workers, true)
+	}
+	return n.runSequential(maxRounds, true)
+}
+
+// runSequential is the reference engine: one goroutine, rounds executed
+// strictly in node-ID order. The parallel engine is differentially tested
+// against it; both build inboxes receiver-driven in port order, which
+// fixes the one canonical delivery order.
+func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 	for v, prog := range n.programs {
 		prog.Init(n.ctxs[v])
 	}
@@ -186,30 +259,35 @@ func (n *Network) Run(maxRounds int) (int, error) {
 		if n.allHalted() {
 			return n.rounds, nil
 		}
-		// Deliver round r−1's sends and clear outboxes.
-		for v := range inboxes {
-			inboxes[v] = inboxes[v][:0]
-		}
-		for v, ctx := range n.ctxs {
-			for p, payload := range ctx.outbox {
-				if !ctx.sent[p] {
-					continue
-				}
-				u := n.g.Neighbors(v)[p].To
-				if !n.ctxs[u].halted {
-					inboxes[u] = append(inboxes[u], Inbound{
-						Port:    n.portOf[u][v],
-						From:    v,
-						Payload: payload,
-					})
-				}
-				ctx.outbox[p] = nil
-				ctx.sent[p] = false
+		// Deliver round r−1's sends: each receiver scans its own ports in
+		// order, reading the matching outbox slot of the sender across
+		// each port. Messages to halted nodes are dropped.
+		delivered := 0
+		for u := range inboxes {
+			inboxes[u] = inboxes[u][:0]
+			if n.ctxs[u].halted {
+				continue
 			}
+			for q, h := range n.g.Neighbors(u) {
+				sender := n.ctxs[h.To]
+				sp := n.revPort[u][q]
+				if sender.sent[sp] {
+					inboxes[u] = append(inboxes[u], Inbound{
+						Port:    q,
+						From:    h.To,
+						Payload: sender.outbox[sp],
+					})
+					delivered++
+				}
+			}
+		}
+		if quiet && r > 0 && delivered == 0 {
+			return n.rounds, nil
 		}
 		n.rounds++
 		for v, prog := range n.programs {
 			ctx := n.ctxs[v]
+			ctx.clearOutbox()
 			if ctx.halted {
 				continue
 			}
@@ -223,58 +301,15 @@ func (n *Network) Run(maxRounds int) (int, error) {
 	return n.rounds, fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit)
 }
 
-// RunUntilQuiet runs like Run but also terminates (successfully) after a
-// round in which no node sent any message, which is the natural stopping
-// condition for flooding-style algorithms whose nodes cannot detect global
-// termination locally.
-func (n *Network) RunUntilQuiet(maxRounds int) (int, error) {
-	for v, prog := range n.programs {
-		prog.Init(n.ctxs[v])
-	}
-	inboxes := make([][]Inbound, n.g.N())
-	for r := 0; r < maxRounds; r++ {
-		if n.allHalted() {
-			return n.rounds, nil
-		}
-		delivered := 0
-		for v := range inboxes {
-			inboxes[v] = inboxes[v][:0]
-		}
-		for v, ctx := range n.ctxs {
-			for p, payload := range ctx.outbox {
-				if !ctx.sent[p] {
-					continue
-				}
-				u := n.g.Neighbors(v)[p].To
-				if !n.ctxs[u].halted {
-					inboxes[u] = append(inboxes[u], Inbound{
-						Port:    n.portOf[u][v],
-						From:    v,
-						Payload: payload,
-					})
-					delivered++
-				}
-				ctx.outbox[p] = nil
-				ctx.sent[p] = false
-			}
-		}
-		if r > 0 && delivered == 0 {
-			return n.rounds, nil
-		}
-		n.rounds++
-		for v, prog := range n.programs {
-			ctx := n.ctxs[v]
-			if ctx.halted {
-				continue
-			}
-			ctx.rounds = n.rounds
-			prog.Step(ctx, inboxes[v])
+// clearOutbox resets the node's sent flags and outbox slots after a
+// delivery pass.
+func (c *Ctx) clearOutbox() {
+	for p, s := range c.sent {
+		if s {
+			c.sent[p] = false
+			c.outbox[p] = nil
 		}
 	}
-	if n.allHalted() {
-		return n.rounds, nil
-	}
-	return n.rounds, fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit)
 }
 
 func (n *Network) allHalted() bool {

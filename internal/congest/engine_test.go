@@ -1,0 +1,231 @@
+package congest
+
+// Differential equivalence suite: every bundled node program is executed
+// on the sequential reference engine and on the sharded parallel engine
+// with several worker counts, and the two executions must agree bit for
+// bit — same round count, same total message count, same per-node final
+// state. Determinism is the measurement contract of the whole repo (round
+// counts ARE the experimental results), so any divergence here is a
+// correctness bug, not a flake.
+
+import (
+	"reflect"
+	"testing"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+var diffWorkerCounts = []int{1, 2, 8}
+
+var diffSeeds = []uint64{1, 7, 42}
+
+// diffScenario builds one program-under-test: build returns a fresh
+// network plus a closure extracting the observable per-node final state.
+type diffScenario struct {
+	name      string
+	quiet     bool
+	maxRounds int
+	build     func(seed uint64) (*Network, func() any)
+}
+
+func runDifferential(t *testing.T, sc diffScenario) {
+	t.Helper()
+	seeds := diffSeeds
+	if testing.Short() {
+		seeds = seeds[:1] // keep the race-instrumented CI run fast
+	}
+	for _, seed := range seeds {
+		net, state := sc.build(seed)
+		wantRounds, err := net.runSequential(sc.maxRounds, sc.quiet)
+		if err != nil {
+			t.Fatalf("%s seed %d: sequential: %v", sc.name, seed, err)
+		}
+		wantMsgs := net.Messages()
+		want := state()
+		for _, workers := range diffWorkerCounts {
+			par, parState := sc.build(seed)
+			gotRounds, err := par.runParallel(sc.maxRounds, workers, sc.quiet)
+			if err != nil {
+				t.Fatalf("%s seed %d workers %d: parallel: %v", sc.name, seed, workers, err)
+			}
+			if gotRounds != wantRounds {
+				t.Errorf("%s seed %d workers %d: rounds %d, sequential %d",
+					sc.name, seed, workers, gotRounds, wantRounds)
+			}
+			if gotMsgs := par.Messages(); gotMsgs != wantMsgs {
+				t.Errorf("%s seed %d workers %d: messages %d, sequential %d",
+					sc.name, seed, workers, gotMsgs, wantMsgs)
+			}
+			if got := parState(); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s seed %d workers %d: final state diverges from sequential",
+					sc.name, seed, workers)
+			}
+		}
+	}
+}
+
+// diffGraph varies the topology with the seed so the suite does not
+// overfit one port layout.
+func diffGraph(seed uint64) *graph.Graph {
+	r := rngutil.NewRand(seed)
+	switch seed % 3 {
+	case 0:
+		return graph.RandomRegular(48, 4, r)
+	case 1:
+		g, err := graph.ConnectedGnp(40, 0.15, r)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	default:
+		return graph.Lollipop(16, 10)
+	}
+}
+
+func TestDifferentialBFS(t *testing.T) {
+	runDifferential(t, diffScenario{
+		name:      "bfs",
+		quiet:     true,
+		maxRounds: 200,
+		build: func(seed uint64) (*Network, func() any) {
+			g := diffGraph(seed)
+			res := &BFSResult{
+				Root:   0,
+				Parent: make([]int, g.N()),
+				Dist:   make([]int, g.N()),
+			}
+			net := NewUniformNetwork(g, func(v int) Program {
+				return &bfsProgram{root: v == 0, res: res}
+			}, rngutil.NewSource(seed))
+			return net, func() any { return *res }
+		},
+	})
+}
+
+func TestDifferentialBroadcast(t *testing.T) {
+	runDifferential(t, diffScenario{
+		name:      "broadcast",
+		quiet:     true,
+		maxRounds: 200,
+		build: func(seed uint64) (*Network, func() any) {
+			g := diffGraph(seed)
+			values := make([]Message, g.N())
+			net := NewUniformNetwork(g, func(v int) Program {
+				return &floodProgram{root: v == 0, value: int(seed), out: values}
+			}, rngutil.NewSource(seed))
+			return net, func() any { return values }
+		},
+	})
+}
+
+func TestDifferentialLeaderElection(t *testing.T) {
+	runDifferential(t, diffScenario{
+		name:      "leader",
+		quiet:     true,
+		maxRounds: 200,
+		build: func(seed uint64) (*Network, func() any) {
+			g := diffGraph(seed)
+			result := make([]int, g.N())
+			net := NewUniformNetwork(g, func(v int) Program {
+				return &leaderProgram{result: result}
+			}, rngutil.NewSource(seed))
+			return net, func() any { return result }
+		},
+	})
+}
+
+func TestDifferentialConvergecast(t *testing.T) {
+	runDifferential(t, diffScenario{
+		name:      "convergecast",
+		quiet:     false,
+		maxRounds: 200,
+		build: func(seed uint64) (*Network, func() any) {
+			g := diffGraph(seed)
+			tree, err := BFS(g, 0, rngutil.NewSource(seed))
+			if err != nil {
+				panic(err)
+			}
+			values := make([]float64, g.N())
+			for v := range values {
+				values[v] = float64(v + 1)
+			}
+			totals := make([]float64, g.N())
+			net := NewUniformNetwork(g, func(v int) Program {
+				return &sumProgram{tree: tree, depth: tree.Depth(), value: values[v], totals: totals}
+			}, rngutil.NewSource(seed+1))
+			return net, func() any { return totals }
+		},
+	})
+}
+
+// TestParallelMessagesAccounting checks the sharded per-node accounting
+// against the known message total of a one-round broadcast.
+func TestParallelMessagesAccounting(t *testing.T) {
+	g := graph.Ring(9)
+	received := make([]int, g.N())
+	net := NewUniformNetwork(g, func(v int) Program {
+		return programFunc{
+			init: func(ctx *Ctx) { ctx.Broadcast("ping") },
+			step: func(ctx *Ctx, inbox []Inbound) {
+				received[ctx.ID()] = len(inbox)
+				ctx.Halt()
+			},
+		}
+	}, rngutil.NewSource(3))
+	if _, err := net.RunParallel(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if net.Messages() != 2*g.M() {
+		t.Fatalf("Messages() = %d, want %d", net.Messages(), 2*g.M())
+	}
+	for v, got := range received {
+		if got != 2 {
+			t.Fatalf("node %d received %d messages, want 2", v, got)
+		}
+	}
+}
+
+// TestParallelPanicPropagates ensures a program panic inside a worker
+// reaches the caller, matching sequential semantics.
+func TestParallelPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double send on one port did not panic through the pool")
+		}
+	}()
+	g := graph.Ring(6)
+	net := NewUniformNetwork(g, func(v int) Program {
+		return programFunc{step: func(ctx *Ctx, _ []Inbound) {
+			ctx.Send(0, 1)
+			ctx.Send(0, 2)
+		}}
+	}, rngutil.NewSource(1))
+	_, _ = net.RunParallel(3, 4)
+}
+
+// TestSetWorkersSelectsEngine checks the RunUntilQuiet engine option: a
+// quiet-terminated program gives identical results through the option
+// path.
+func TestSetWorkersSelectsEngine(t *testing.T) {
+	run := func(workers int) (int, int, []int) {
+		g := graph.Grid(6, 6)
+		result := make([]int, g.N())
+		net := NewUniformNetwork(g, func(v int) Program {
+			return &leaderProgram{result: result}
+		}, rngutil.NewSource(11)).SetWorkers(workers)
+		rounds, err := net.RunUntilQuiet(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rounds, net.Messages(), result
+	}
+	seqRounds, seqMsgs, seqState := run(1)
+	for _, workers := range []int{2, 8} {
+		rounds, msgs, state := run(workers)
+		if rounds != seqRounds || msgs != seqMsgs || !reflect.DeepEqual(state, seqState) {
+			t.Fatalf("workers=%d: (rounds=%d msgs=%d) diverges from sequential (rounds=%d msgs=%d)",
+				workers, rounds, msgs, seqRounds, seqMsgs)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package graph
+
+// Property tests (testing/quick) for the structural invariants every
+// generator must satisfy: the handshake lemma (Σ deg = 2m) and port
+// symmetry — the halfedge across port p of v leads to a neighbor whose
+// own port map routes straight back to v over the same edge. The CONGEST
+// simulator's receiver-driven delivery depends on exactly this
+// round-trip, so a violation here would corrupt message routing.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"almostmix/internal/rngutil"
+)
+
+// sampleGraph draws a generator and size from the seed.
+func sampleGraph(seed uint64) *Graph {
+	r := rngutil.NewRand(seed)
+	n := int(seed%48) + 8
+	switch seed % 5 {
+	case 0:
+		return RandomRegular(n-n%2, 4, r)
+	case 1:
+		g, err := ConnectedGnp(n, 0.2, r)
+		if err != nil {
+			return Ring(n)
+		}
+		return g
+	case 2:
+		return Lollipop(n/2+2, n/2+1)
+	case 3:
+		return Torus(int(seed%5)+3, int(seed/5%5)+3)
+	default:
+		return Hypercube(int(seed%4) + 2)
+	}
+}
+
+func TestPropertyHandshakeLemma(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := sampleGraph(seed)
+		degSum := 0
+		for v := 0; v < g.N(); v++ {
+			degSum += g.Degree(v)
+		}
+		return degSum == 2*g.M() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPortSymmetryRoundTrips(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := sampleGraph(seed)
+		// portOf mirrors the simulator's routing table construction.
+		portOf := make([]map[int]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			portOf[v] = make(map[int]int, g.Degree(v))
+			for p, h := range g.Neighbors(v) {
+				portOf[v][h.To] = p
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			for p, h := range g.Neighbors(v) {
+				back, ok := portOf[h.To][v]
+				if !ok {
+					return false // neighbor has no port back
+				}
+				rev := g.Neighbors(h.To)[back]
+				// The reverse halfedge must return to v over the same
+				// edge, and the round-trip must land on the same port.
+				if rev.To != v || rev.EdgeID != h.EdgeID || portOf[v][h.To] != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

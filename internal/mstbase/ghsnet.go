@@ -64,6 +64,11 @@ type ghsNode struct {
 	frag       int32
 	parentPort int    // -1 at fragment roots
 	treePort   []bool // MST edges chosen so far (ports)
+	// chosen collects the MST edge IDs this node selected as the owning
+	// (inside) endpoint. Recording is per node — never into shared run
+	// state — so concurrent Steps under the parallel engine stay
+	// race-free; GHSNetwork aggregates after the run.
+	chosen []int
 
 	// Per-window scratch, reset at ℓ = 0.
 	nbrFrag     []int32
@@ -87,11 +92,9 @@ type pendingMsg struct {
 	payload congest.Message
 }
 
-// ghsRun holds shared run metadata and the collected tree.
+// ghsRun holds shared run metadata. It is read-only during the run.
 type ghsRun struct {
-	g      *graph.Graph
 	window int
-	chosen map[int]struct{} // edge IDs in the MST (by either endpoint)
 }
 
 func noneCandidate() ghsCandidate {
@@ -280,7 +283,7 @@ func (p *ghsNode) applyDecision(ctx *congest.Ctx, cand ghsCandidate) {
 				// decide earlier): detect the mutual core edge now.
 				mutual := p.mergedPort[port]
 				p.mergedPort[port] = true
-				p.run.chosen[ctx.EdgeID(port)] = struct{}{}
+				p.chosen = append(p.chosen, ctx.EdgeID(port))
 				p.send(port, ghsMergeReq{})
 				if mutual && ctx.ID() > int(cand.Y) {
 					p.startAdoption(ctx)
@@ -323,17 +326,24 @@ func (p *ghsNode) forwardAdoption(ctx *congest.Ctx, fromPort int) {
 // the MST with the simulator-measured round count. Weights should be
 // distinct.
 func GHSNetwork(g *graph.Graph, src *rngutil.Source) (*Result, error) {
+	return GHSNetworkParallel(g, src, 1)
+}
+
+// GHSNetworkParallel runs GHSNetwork on the simulator's sharded parallel
+// engine with the given worker count (1 = the sequential reference engine,
+// <= 0 = one worker per CPU). The result — tree, rounds, message-level
+// schedule — is bit-identical for every worker count; only wall-clock time
+// changes.
+func GHSNetworkParallel(g *graph.Graph, src *rngutil.Source, workers int) (*Result, error) {
 	if !g.IsConnected() {
 		return nil, fmt.Errorf("mstbase: %w", graph.ErrDisconnected)
 	}
-	run := &ghsRun{
-		g:      g,
-		window: 3*g.N() + 6,
-		chosen: make(map[int]struct{}, g.N()-1),
-	}
+	run := &ghsRun{window: 3*g.N() + 6}
+	nodes := make([]*ghsNode, g.N())
 	net := congest.NewUniformNetwork(g, func(v int) congest.Program {
-		return &ghsNode{run: run}
-	}, src)
+		nodes[v] = &ghsNode{run: run}
+		return nodes[v]
+	}, src).SetWorkers(workers)
 	iterBudget := 2*log2int(g.N()) + 4
 	rounds, err := net.Run(run.window*iterBudget + 2)
 	if err != nil {
@@ -343,9 +353,14 @@ func GHSNetwork(g *graph.Graph, src *rngutil.Source) (*Result, error) {
 		Rounds:     rounds,
 		Iterations: (rounds + run.window - 1) / run.window,
 	}
-	res.Edges = make([]int, 0, len(run.chosen))
-	for id := range run.chosen {
-		res.Edges = append(res.Edges, id)
+	seen := make(map[int]struct{}, g.N()-1)
+	for _, node := range nodes {
+		for _, id := range node.chosen {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				res.Edges = append(res.Edges, id)
+			}
+		}
 	}
 	res.Weight = g.TotalWeight(res.Edges)
 	return res, nil

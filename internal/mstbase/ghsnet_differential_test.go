@@ -1,0 +1,64 @@
+package mstbase
+
+// Differential equivalence of the full-fidelity GHS node program across
+// simulator engines: the tree, the measured rounds and the message total
+// must be bit-identical between the sequential reference engine and the
+// sharded parallel engine for every worker count. GHS is the most
+// state-heavy program in the repo (five message types, event-driven
+// phases, adoption waves), so it is the strongest single witness that the
+// parallel engine preserves program semantics.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"almostmix/internal/graph"
+	"almostmix/internal/mst"
+	"almostmix/internal/rngutil"
+)
+
+func TestGHSNetworkDifferential(t *testing.T) {
+	seeds := []uint64{3, 11, 29}
+	if testing.Short() {
+		seeds = seeds[:1] // keep the race-instrumented CI run fast
+	}
+	for _, seed := range seeds {
+		r := rngutil.NewRand(seed)
+		var g *graph.Graph
+		switch seed % 3 {
+		case 0:
+			g = graph.RandomRegular(32, 4, r)
+		case 1:
+			g = graph.Grid(6, 5)
+		default:
+			g = graph.Lollipop(12, 8)
+		}
+		g.AssignDistinctRandomWeights(r)
+
+		ref, err := GHSNetwork(g, rngutil.NewSource(seed))
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		_, wantWeight := mst.Kruskal(g)
+		if ref.Weight != wantWeight {
+			t.Fatalf("seed %d: sequential GHS weight %v, Kruskal %v", seed, ref.Weight, wantWeight)
+		}
+		refEdges := append([]int(nil), ref.Edges...)
+		sort.Ints(refEdges)
+
+		for _, workers := range []int{1, 2, 8} {
+			got, err := GHSNetworkParallel(g, rngutil.NewSource(seed), workers)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			gotEdges := append([]int(nil), got.Edges...)
+			sort.Ints(gotEdges)
+			if got.Rounds != ref.Rounds || got.Weight != ref.Weight ||
+				!reflect.DeepEqual(gotEdges, refEdges) {
+				t.Errorf("seed %d workers %d: (rounds=%d weight=%v) diverges from sequential (rounds=%d weight=%v)",
+					seed, workers, got.Rounds, got.Weight, ref.Rounds, ref.Weight)
+			}
+		}
+	}
+}

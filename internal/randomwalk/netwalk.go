@@ -1,0 +1,118 @@
+package randomwalk
+
+// This file runs random-walk tokens as genuine CONGEST node programs on
+// the simulator, complementing Run above (which executes the walk
+// schedule directly and accounts rounds analytically). Every token hop is
+// an actual message on an actual port, subject to the one-message-per-
+// port-per-round capacity: tokens wanting the same port queue and drain
+// one per round, which is exactly the congestion Lemma 2.5 schedules
+// around. The workload is the simulator's natural stress test — per-node
+// work every round, traffic on every edge — and is what the engine
+// benchmark and the sequential-vs-parallel differential suite run.
+
+import (
+	"fmt"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+// walkToken is the message payload: the number of hops the token still has
+// to make after the current delivery.
+type walkToken struct{ Left int32 }
+
+// NetworkWalkResult is the outcome of a node-program walk execution.
+type NetworkWalkResult struct {
+	// ArrivedAt[v] counts the tokens absorbed at node v after exhausting
+	// their hops.
+	ArrivedAt []int
+	// Rounds is the simulator-measured makespan: walk steps plus all
+	// queueing delay from port contention.
+	Rounds int
+	// Messages is the total hops delivered (= Σ tokens·steps when every
+	// source has positive degree).
+	Messages int
+}
+
+// walkNode is the per-node program: it routes arriving tokens onward with
+// a fresh uniform port choice per hop and drains one queued token per port
+// per round.
+type walkNode struct {
+	steps   int
+	counts  []int
+	arrived []int // shared, but each node writes only its own index
+	queues  [][]walkToken
+}
+
+func (p *walkNode) Init(ctx *congest.Ctx) {
+	p.queues = make([][]walkToken, ctx.Degree())
+	for i := 0; i < p.counts[ctx.ID()]; i++ {
+		p.route(ctx, int32(p.steps))
+	}
+	p.flush(ctx)
+}
+
+// route absorbs a token with no hops left, or queues it on a uniformly
+// random port. Isolated nodes absorb immediately.
+func (p *walkNode) route(ctx *congest.Ctx, left int32) {
+	if left == 0 || ctx.Degree() == 0 {
+		p.arrived[ctx.ID()]++
+		return
+	}
+	port := ctx.Rand().IntN(ctx.Degree())
+	p.queues[port] = append(p.queues[port], walkToken{Left: left - 1})
+}
+
+// flush sends the head token of every nonempty port queue.
+func (p *walkNode) flush(ctx *congest.Ctx) {
+	for port, q := range p.queues {
+		if len(q) > 0 {
+			ctx.Send(port, q[0])
+			p.queues[port] = q[1:]
+		}
+	}
+}
+
+func (p *walkNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
+	for _, in := range inbox {
+		tok, ok := in.Payload.(walkToken)
+		if !ok {
+			panic(fmt.Sprintf("randomwalk: node %d got %T", ctx.ID(), in.Payload))
+		}
+		p.route(ctx, tok.Left)
+	}
+	p.flush(ctx)
+}
+
+// RunNetwork starts counts[v] walk tokens at each node v, each making
+// exactly steps uniform-random hops (no laziness) as simulator messages,
+// and runs until every token is absorbed. workers selects the simulator
+// engine: 1 is the sequential reference, > 1 the sharded parallel engine,
+// <= 0 one worker per CPU. Results are bit-identical across worker counts
+// and reproducible given the seed source.
+func RunNetwork(g *graph.Graph, counts []int, steps int, src *rngutil.Source, workers int) (*NetworkWalkResult, error) {
+	if len(counts) != g.N() {
+		panic(fmt.Sprintf("randomwalk: %d counts for %d nodes", len(counts), g.N()))
+	}
+	if steps < 0 {
+		panic("randomwalk: negative step count")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	res := &NetworkWalkResult{ArrivedAt: make([]int, g.N())}
+	net := congest.NewUniformNetwork(g, func(v int) congest.Program {
+		return &walkNode{steps: steps, counts: counts, arrived: res.ArrivedAt}
+	}, src).SetWorkers(workers)
+	// Every round at least one token hops while any remain in flight, so
+	// total hops bounds the makespan.
+	rounds, err := net.RunUntilQuiet(total*steps + 4)
+	if err != nil {
+		return nil, fmt.Errorf("randomwalk: network walk: %w", err)
+	}
+	res.Rounds = rounds
+	res.Messages = net.Messages()
+	return res, nil
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/graph"
 	"almostmix/internal/randomwalk"
 	"almostmix/internal/rngutil"
@@ -42,6 +43,34 @@ func BenchmarkCongestEngine(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := randomwalk.RunNetwork(fx.g, fx.counts, steps,
 					rngutil.NewSource(131), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}
+
+// BenchmarkCongestEngineTraced is the same workload with the bundled
+// trace sink attached, to quantify the cost of full per-round
+// observability relative to BenchmarkCongestEngine's no-probe baseline
+// (which must stay probe-free fast: the layer is nil-checked out).
+func BenchmarkCongestEngineTraced(b *testing.B) {
+	fx := engineBenchShared()
+	const steps = 20
+	for _, workers := range []int{1, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				sink := congest.NewTraceSink()
+				res, err := randomwalk.RunNetworkProbe(fx.g, fx.counts, steps,
+					rngutil.NewSource(131), workers, sink)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
@@ -23,14 +24,15 @@ func main() {
 	ghsnet := flag.Bool("ghsnet", false, "also run the node-program GHS on the CONGEST simulator")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 1, "simulator workers for -ghsnet (1 = sequential reference, 0 = one per CPU); results are identical for every value")
+	trace := flag.String("trace", "", "write a per-round trace of the -ghsnet runs to this file (.json for JSON, CSV otherwise); implies -ghsnet")
 	flag.Parse()
-	if err := run(*audit, *ghsnet, *seed, *workers); err != nil {
+	if err := run(*audit, *ghsnet, *seed, *workers, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "mst:", err)
 		os.Exit(1)
 	}
 }
 
-func run(audit, ghsnet bool, seed uint64, workers int) error {
+func run(audit, ghsnet bool, seed uint64, workers int, trace string) error {
 	instances := []struct {
 		name string
 		g    *graph.Graph
@@ -92,12 +94,21 @@ func run(audit, ghsnet bool, seed uint64, workers int) error {
 	fmt.Println("and polylogs (flat-ish slope), not by n or D; its constants dominate at")
 	fmt.Println("laptop n, so the observed crossover against Õ(D+√n) is extrapolated.")
 
+	var sink *congest.TraceSink
+	if trace != "" {
+		sink = congest.NewTraceSink()
+		ghsnet = true
+	}
 	if ghsnet {
 		nt := harness.NewTable(
 			fmt.Sprintf("E1b — node-program GHS on the CONGEST simulator (workers=%d)", workers),
 			"graph", "n", "rounds", "iterations", "weight agrees")
 		for _, inst := range instances {
-			res, err := mstbase.GHSNetworkParallel(inst.g, rngutil.NewSource(seed+30), workers)
+			var probe congest.Probe
+			if sink != nil {
+				probe = sink.Label(inst.name)
+			}
+			res, err := mstbase.GHSNetworkProbe(inst.g, rngutil.NewSource(seed+30), workers, probe)
 			if err != nil {
 				return err
 			}
@@ -107,6 +118,13 @@ func run(audit, ghsnet bool, seed uint64, workers int) error {
 		fmt.Println(nt)
 		fmt.Println("Round counts are engine-independent: -workers changes wall-clock only")
 		fmt.Println("(see DESIGN.md §3).")
+	}
+	if sink != nil {
+		if err := sink.WriteFile(trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-round trace (%d round records) to %s\n",
+			len(sink.Rounds.Samples), trace)
 	}
 	return nil
 }

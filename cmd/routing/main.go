@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
@@ -21,9 +22,10 @@ import (
 func main() {
 	levels := flag.Bool("levels", false, "print the E8 per-level decomposition for one run")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	trace := flag.String("trace", "", "write a per-round trace of every routing run to this file (.json for JSON, CSV otherwise): preparation-walk congestion plus the recursion's phase timeline")
 	flag.Parse()
 
-	if err := run(*levels, *seed); err != nil {
+	if err := run(*levels, *seed, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "routing:", err)
 		os.Exit(1)
 	}
@@ -48,7 +50,11 @@ func buildInstance(inst instance, seed uint64) (*embed.Hierarchy, int, error) {
 	return h, tau, nil
 }
 
-func run(levels bool, seed uint64) error {
+func run(levels bool, seed uint64, trace string) error {
+	var sink *congest.TraceSink
+	if trace != "" {
+		sink = congest.NewTraceSink()
+	}
 	instances := []instance{
 		{"rr64d8", graph.RandomRegular(64, 8, rngutil.NewRand(seed))},
 		{"rr128d8", graph.RandomRegular(128, 8, rngutil.NewRand(seed+1))},
@@ -66,7 +72,11 @@ func run(levels bool, seed uint64) error {
 			return err
 		}
 		reqs := route.RandomPermutation(inst.g, rngutil.NewRand(seed+20))
-		rep, err := route.Route(h, reqs, rngutil.NewSource(seed+30))
+		var probe congest.Probe
+		if sink != nil {
+			probe = sink.Label(inst.name + " perm")
+		}
+		rep, err := route.RouteTraced(h, reqs, rngutil.NewSource(seed+30), probe)
 		if err != nil {
 			return err
 		}
@@ -74,7 +84,10 @@ func run(levels bool, seed uint64) error {
 			rep.G0Rounds, rep.BaseRounds, float64(rep.BaseRounds)/float64(tau))
 
 		heavy := route.DegreeDemand(inst.g, rngutil.NewRand(seed+40))
-		repH, err := route.Route(h, heavy, rngutil.NewSource(seed+50))
+		if sink != nil {
+			probe = sink.Label(inst.name + " degree")
+		}
+		repH, err := route.RouteTraced(h, heavy, rngutil.NewSource(seed+50), probe)
 		if err != nil {
 			return err
 		}
@@ -95,6 +108,14 @@ func run(levels bool, seed uint64) error {
 		harness.LogLogSlope(ns, based))
 	fmt.Println("Theorem 1.2's shape: base/τ grows only polylogarithmically on the")
 	fmt.Println("expander family, while the lollipop's larger τ_mix dominates its cost.")
+
+	if sink != nil {
+		if err := sink.WriteFile(trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-round trace (%d round records, %d phase entries) to %s\n",
+			len(sink.Rounds.Samples), len(sink.Phases.Entries), trace)
+	}
 	return nil
 }
 

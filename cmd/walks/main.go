@@ -13,6 +13,7 @@ import (
 	"math"
 	"os"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
 	"almostmix/internal/randomwalk"
@@ -26,15 +27,20 @@ func main() {
 	steps := flag.Int("steps", 60, "walk steps T")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 1, "simulator workers for the node-program walk (1 = sequential reference, 0 = one per CPU); results are identical for every value")
+	trace := flag.String("trace", "", "write a per-round trace of every run to this file (.json for JSON, CSV otherwise)")
 	flag.Parse()
 
-	if err := run(*n, *d, *steps, *seed, *workers); err != nil {
+	if err := run(*n, *d, *steps, *seed, *workers, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "walks:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, d, steps int, seed uint64, workers int) error {
+func run(n, d, steps int, seed uint64, workers int, trace string) error {
+	var sink *congest.TraceSink
+	if trace != "" {
+		sink = congest.NewTraceSink()
+	}
 	g := graph.RandomRegular(n, d, rngutil.NewRand(seed))
 	logN := math.Log2(float64(n))
 	t := harness.NewTable(
@@ -42,10 +48,14 @@ func run(n, d, steps int, seed uint64, workers int) error {
 		"k", "walks", "max tokens/node", "occupancy bound k·d+log n", "rounds/step", "phase bound k+log n")
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		sources := randomwalk.SourcesPerNode(randomwalk.UniformCountTimesDegree(g, k))
-		res := randomwalk.Run(g, sources, randomwalk.Config{
+		cfg := randomwalk.Config{
 			Kind:  spectral.Lazy,
 			Steps: steps,
-		}, rngutil.NewRand(seed+uint64(k)))
+		}
+		if sink != nil {
+			cfg.Probe = sink.Label(fmt.Sprintf("E4 k=%d", k))
+		}
+		res := randomwalk.Run(g, sources, cfg, rngutil.NewRand(seed+uint64(k)))
 		t.AddRow(k, len(sources),
 			res.Stats.MaxTokensAtNode, float64(k*d)+logN,
 			float64(res.Stats.Rounds)/float64(steps), float64(k)+logN)
@@ -61,8 +71,12 @@ func run(n, d, steps int, seed uint64, workers int) error {
 		fmt.Sprintf("E4b — node-program walks on the CONGEST engine (workers=%d)", workers),
 		"k", "tokens", "messages", "makespan rounds", "rounds/step")
 	for _, k := range []int{1, 2, 4} {
-		res, err := randomwalk.RunNetwork(g, randomwalk.UniformCountTimesDegree(g, k),
-			steps, rngutil.NewSource(seed+100+uint64(k)), workers)
+		var probe congest.Probe
+		if sink != nil {
+			probe = sink.Label(fmt.Sprintf("E4b k=%d", k))
+		}
+		res, err := randomwalk.RunNetworkProbe(g, randomwalk.UniformCountTimesDegree(g, k),
+			steps, rngutil.NewSource(seed+100+uint64(k)), workers, probe)
 		if err != nil {
 			return err
 		}
@@ -76,5 +90,13 @@ func run(n, d, steps int, seed uint64, workers int) error {
 	fmt.Println(et)
 	fmt.Println("Engine results are bit-identical for every -workers value; the flag")
 	fmt.Println("changes wall-clock time only (see DESIGN.md §3).")
+
+	if sink != nil {
+		if err := sink.WriteFile(trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-round trace (%d round records) to %s\n",
+			len(sink.Rounds.Samples), trace)
+	}
 	return nil
 }

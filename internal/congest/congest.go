@@ -52,8 +52,14 @@ type Ctx struct {
 	outbox []Message // one slot per port; nil = no send this round
 	sent   []bool
 	halted bool
-	rounds int // rounds observed by this node (== network rounds)
 	msgs   int // messages sent by this node (sharded accounting)
+
+	// Probe bookkeeping, populated only when a probe is attached. Like
+	// msgs these are sharded: written by the owning worker, drained by
+	// the coordinator between barriers.
+	marks      []phaseMark
+	justHalted bool
+	haltRound  int
 }
 
 // ID returns the node's identifier.
@@ -80,8 +86,13 @@ func (c *Ctx) EdgeWeight(port int) float64 {
 // Rand returns the node's private deterministic random stream.
 func (c *Ctx) Rand() *rand.Rand { return c.rng }
 
-// Round returns the current round number (starting at 0 for Init).
-func (c *Ctx) Round() int { return c.rounds }
+// Round returns the current network round number (0 during Init). It
+// reads the network's round counter directly, so it keeps advancing with
+// the network even after this node halts — a halted node that is queried
+// later (e.g. by post-run inspection) sees the true global round, not the
+// round it halted in. Safe under the parallel engine: the counter is
+// written only between the round barriers.
+func (c *Ctx) Round() int { return c.net.rounds }
 
 // Send queues a message on the given port for delivery next round. At
 // most one message may be sent per port per round; a second send on the
@@ -108,7 +119,16 @@ func (c *Ctx) Broadcast(payload Message) {
 // Halt marks the node as finished. A halted node's Step is no longer
 // called; the network terminates when every node has halted. Delivery to
 // halted nodes still occurs but the messages are dropped.
-func (c *Ctx) Halt() { c.halted = true }
+func (c *Ctx) Halt() {
+	if c.halted {
+		return
+	}
+	c.halted = true
+	if c.net.probe != nil {
+		c.justHalted = true
+		c.haltRound = c.net.rounds
+	}
+}
 
 // Program is a node algorithm. Init runs once before round 0; Step runs
 // every round with the messages delivered in that round.
@@ -133,6 +153,12 @@ type Network struct {
 	// 1 (the default) selects the sequential reference engine, >1 the
 	// sharded parallel engine, <=0 one worker per available CPU.
 	workers int
+	// started enforces that a Network is single-use (see begin).
+	started bool
+	// probe, when non-nil, observes the run (see probe.go); ps holds its
+	// lazily allocated scratch buffers.
+	probe Probe
+	ps    *probeState
 }
 
 // NewNetwork builds a network over g where node v runs programs[v].
@@ -215,10 +241,20 @@ func (n *Network) Graph() *graph.Graph { return n.g }
 // halt.
 var ErrRoundLimit = errors.New("congest: round limit reached before all nodes halted")
 
+// ErrNetworkReused is returned when Run (or RunParallel/RunUntilQuiet) is
+// called a second time on the same Network. A Network is single-use:
+// rounds, per-node message shards and program state accumulate across
+// rounds, so re-running Init over them would silently corrupt both the
+// accounting and the algorithm state. Build a fresh Network (the graph
+// and source can be reused) for another run; Rounds and Messages remain
+// readable after the first run completes.
+var ErrNetworkReused = errors.New("network is single-use: Run already called; build a new Network")
+
 // Run initializes all programs and executes rounds until every node halts
 // or maxRounds elapse. It returns the number of rounds executed. The
 // engine is selected by SetWorkers (sequential by default); results are
-// identical either way.
+// identical either way. A Network is single-use: a second Run (or
+// RunParallel/RunUntilQuiet) call returns ErrNetworkReused.
 func (n *Network) Run(maxRounds int) (int, error) {
 	if n.workers > 1 {
 		return n.runParallel(maxRounds, n.workers, false)
@@ -251,13 +287,20 @@ func (n *Network) RunUntilQuiet(maxRounds int) (int, error) {
 // against it; both build inboxes receiver-driven in port order, which
 // fixes the one canonical delivery order.
 func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
+	if err := n.begin(); err != nil {
+		return n.rounds, err
+	}
+	n.probeRunStart("sequential", 1)
 	for v, prog := range n.programs {
 		prog.Init(n.ctxs[v])
+	}
+	if n.probe != nil {
+		n.probeDrainEvents() // marks/halts emitted during Init, round 0
 	}
 	inboxes := make([][]Inbound, n.g.N())
 	for r := 0; r < maxRounds; r++ {
 		if n.allHalted() {
-			return n.rounds, nil
+			return n.finish(nil)
 		}
 		// Deliver round r−1's sends: each receiver scans its own ports in
 		// order, reading the matching outbox slot of the sender across
@@ -282,23 +325,27 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 			}
 		}
 		if quiet && r > 0 && delivered == 0 {
-			return n.rounds, nil
+			return n.finish(nil)
 		}
 		n.rounds++
+		active := 0
 		for v, prog := range n.programs {
 			ctx := n.ctxs[v]
 			ctx.clearOutbox()
 			if ctx.halted {
 				continue
 			}
-			ctx.rounds = n.rounds
+			active++
 			prog.Step(ctx, inboxes[v])
+		}
+		if n.probe != nil {
+			n.probeRoundFlush(inboxes, delivered, active)
 		}
 	}
 	if n.allHalted() {
-		return n.rounds, nil
+		return n.finish(nil)
 	}
-	return n.rounds, fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit)
+	return n.finish(fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit))
 }
 
 // clearOutbox resets the node's sent flags and outbox slots after a

@@ -103,6 +103,9 @@ func (p *workerPool) close() { close(p.tasks) }
 // contiguous shards, one per worker; see the package comment above for the
 // phase structure and the determinism argument.
 func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
+	if err := n.begin(); err != nil {
+		return n.rounds, err
+	}
 	nNodes := n.g.N()
 	if workers > nNodes {
 		workers = nNodes
@@ -110,8 +113,12 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	n.probeRunStart("parallel", workers)
 	for v, prog := range n.programs {
 		prog.Init(n.ctxs[v])
+	}
+	if n.probe != nil {
+		n.probeDrainEvents() // marks/halts emitted during Init, round 0
 	}
 	bounds := make([]int, workers+1)
 	for w := 0; w <= workers; w++ {
@@ -149,7 +156,6 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 			if ctx.halted {
 				continue
 			}
-			ctx.rounds = n.rounds
 			n.programs[v].Step(ctx, inboxes[v])
 		}
 	}
@@ -158,7 +164,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 	defer pool.close()
 	for r := 0; r < maxRounds; r++ {
 		if n.allHalted() {
-			return n.rounds, nil
+			return n.finish(nil)
 		}
 		pool.dispatch(workers, deliverPhase)
 		if quiet && r > 0 {
@@ -167,14 +173,31 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 				total += delivered[w*pad]
 			}
 			if total == 0 {
-				return n.rounds, nil
+				return n.finish(nil)
 			}
 		}
 		n.rounds++
+		// The probe's active count (nodes about to step) is read here, on
+		// the coordinator, between the deliver and step barriers.
+		active := 0
+		if n.probe != nil {
+			for _, ctx := range n.ctxs {
+				if !ctx.halted {
+					active++
+				}
+			}
+		}
 		pool.dispatch(workers, stepPhase)
+		if n.probe != nil {
+			total := 0
+			for w := 0; w < workers; w++ {
+				total += delivered[w*pad]
+			}
+			n.probeRoundFlush(inboxes, total, active)
+		}
 	}
 	if n.allHalted() {
-		return n.rounds, nil
+		return n.finish(nil)
 	}
-	return n.rounds, fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit)
+	return n.finish(fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit))
 }

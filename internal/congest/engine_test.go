@@ -37,6 +37,8 @@ func runDifferential(t *testing.T, sc diffScenario) {
 	}
 	for _, seed := range seeds {
 		net, state := sc.build(seed)
+		wantProbe := &recordingProbe{}
+		net.SetProbe(wantProbe)
 		wantRounds, err := net.runSequential(sc.maxRounds, sc.quiet)
 		if err != nil {
 			t.Fatalf("%s seed %d: sequential: %v", sc.name, seed, err)
@@ -45,6 +47,8 @@ func runDifferential(t *testing.T, sc diffScenario) {
 		want := state()
 		for _, workers := range diffWorkerCounts {
 			par, parState := sc.build(seed)
+			gotProbe := &recordingProbe{}
+			par.SetProbe(gotProbe)
 			gotRounds, err := par.runParallel(sc.maxRounds, workers, sc.quiet)
 			if err != nil {
 				t.Fatalf("%s seed %d workers %d: parallel: %v", sc.name, seed, workers, err)
@@ -60,6 +64,14 @@ func runDifferential(t *testing.T, sc diffScenario) {
 			if got := parState(); !reflect.DeepEqual(got, want) {
 				t.Errorf("%s seed %d workers %d: final state diverges from sequential",
 					sc.name, seed, workers)
+			}
+			// The probe contract: the full event stream — every round
+			// record (including the borrowed per-node and per-edge slices),
+			// every mark, every halt — is bit-identical across engines and
+			// worker counts.
+			if !reflect.DeepEqual(gotProbe.events, wantProbe.events) {
+				t.Errorf("%s seed %d workers %d: probe event stream diverges from sequential (%d vs %d events)",
+					sc.name, seed, workers, len(gotProbe.events), len(wantProbe.events))
 			}
 		}
 	}
@@ -155,6 +167,42 @@ func TestDifferentialConvergecast(t *testing.T) {
 				return &sumProgram{tree: tree, depth: tree.Depth(), value: values[v], totals: totals}
 			}, rngutil.NewSource(seed+1))
 			return net, func() any { return totals }
+		},
+	})
+}
+
+// TestDifferentialProbeEvents drives the probe event paths hard: every
+// node marks phases each round and the nodes halt in staggered waves, so
+// the per-round drain of sharded marks and halt flags is exercised on
+// every worker count (the stream equality is asserted by runDifferential).
+func TestDifferentialProbeEvents(t *testing.T) {
+	runDifferential(t, diffScenario{
+		name:      "probe-events",
+		quiet:     false,
+		maxRounds: 60,
+		build: func(seed uint64) (*Network, func() any) {
+			g := diffGraph(seed)
+			final := make([]int, g.N())
+			net := NewUniformNetwork(g, func(v int) Program {
+				return programFunc{
+					init: func(ctx *Ctx) {
+						ctx.Mark("boot")
+						ctx.Broadcast(0)
+					},
+					step: func(ctx *Ctx, inbox []Inbound) {
+						if ctx.Round()%3 == ctx.ID()%3 {
+							ctx.Mark("beat")
+						}
+						if ctx.Round() >= 3+ctx.ID()%7 {
+							final[ctx.ID()] = ctx.Round()
+							ctx.Halt()
+							return
+						}
+						ctx.Broadcast(ctx.Round())
+					},
+				}
+			}, rngutil.NewSource(seed))
+			return net, func() any { return final }
 		},
 	})
 }

@@ -51,7 +51,7 @@ func FuzzNetworkRun(f *testing.F) {
 	f.Add(uint64(5), uint16(0x7777), uint8(6), uint8(31), uint8(8))
 
 	f.Fuzz(func(t *testing.T, seed uint64, edgeMask uint16, nRaw, budgetRaw, workersRaw uint8) {
-		n := int(nRaw%7) + 2           // 2..8 nodes
+		n := int(nRaw%7) + 2 // 2..8 nodes
 		maxRounds := int(budgetRaw%32) + 1
 		workers := int(workersRaw % 9) // 0 (=GOMAXPROCS) .. 8
 

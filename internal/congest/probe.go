@@ -1,0 +1,283 @@
+package congest
+
+// The probe layer: per-round observability for simulator runs.
+//
+// The paper's claims are statements about per-round trajectories — token
+// load per phase (Lemma 2.5), congestion per edge, halting waves — not
+// just end-of-run totals, so the simulator exposes a hook interface that
+// reports what happened in every round. The contract is built around the
+// determinism guarantee of the two engines:
+//
+//   - Every hook is invoked on the coordinating goroutine only, between
+//     the round barriers, never from a worker. Probes need no locking and
+//     observe both engines identically: attaching the same probe to the
+//     sequential and the sharded parallel engine yields bit-identical
+//     event sequences for every worker count (asserted by the
+//     differential suites).
+//   - Event order within a round is fixed: per node in ID order, first
+//     that node's phase marks (in emission order), then its halt event if
+//     it halted this round; then one RoundEnd with the aggregated record.
+//   - Per-node event collection is sharded exactly like message
+//     accounting: marks and halt flags live on the Ctx touched only by
+//     the owning worker, and the coordinator drains them after the step
+//     barrier, so the parallel engine stays free of shared mutable state.
+//   - With no probe attached the engines skip all collection — the only
+//     residual cost is one nil check per round — so measurement runs pay
+//     nothing for the layer's existence (BenchmarkCongestEngine guards
+//     this).
+//
+// Probes must not mutate the network or retain the record slices they are
+// handed; RoundRecord.InboxSizes and RoundRecord.EdgeLoad are buffers
+// owned by the engine, valid only during the RoundEnd call.
+
+import "fmt"
+
+// RunInfo describes a run at RunStart time.
+type RunInfo struct {
+	// Name labels the run in exported traces ("E4 k=2"). Engines leave it
+	// empty; wrappers like TraceSink.Label fill it in.
+	Name string
+	// Engine identifies the executor: "sequential", "parallel", or the
+	// name of an analytic engine reusing the layer (e.g. "randomwalk").
+	Engine string
+	// Workers is the effective worker count (1 for sequential).
+	Workers int
+	// Nodes and Edges describe the graph under simulation.
+	Nodes, Edges int
+}
+
+// RoundRecord is the aggregated view of one executed round, handed to
+// Probe.RoundEnd. For the CONGEST engines Round is the network round
+// number (1-based) and per-edge loads are 0 or 1 by the model's capacity;
+// analytic engines that reuse the layer (randomwalk.Run) emit one record
+// per walk step, where the edge load is the step's congestion — the
+// quantity Lemma 2.5 bounds.
+type RoundRecord struct {
+	// Round is the round (or analytic step) just executed, 1-based.
+	Round int
+	// Delivered is the number of messages delivered this round.
+	Delivered int
+	// Active is the number of nodes that executed Step this round.
+	Active int
+	// Halted is the number of halted nodes after the round.
+	Halted int
+	// MaxInbox is the largest per-node inbox this round, and MaxInboxNode
+	// the smallest node ID attaining it (-1 when no deliveries).
+	MaxInbox     int
+	MaxInboxNode int
+	// MaxEdgeLoad is the largest per-directed-edge delivery count.
+	MaxEdgeLoad int
+	// InboxSizes[v] is the number of messages delivered to node v.
+	// Borrowed: valid only during the RoundEnd call.
+	InboxSizes []int
+	// EdgeLoad[2·e+dir] is the delivery count of edge e in direction dir
+	// (dir 1 = toward the edge's V endpoint). Borrowed: valid only during
+	// the RoundEnd call.
+	EdgeLoad []int32
+}
+
+// Probe observes a simulator run. All hooks run on the coordinating
+// goroutine in a deterministic order (see the package comment above);
+// implementations need no synchronization but must not mutate the network
+// or retain borrowed slices. NopProbe provides no-op defaults to embed.
+type Probe interface {
+	// RunStart fires once per run, before Init.
+	RunStart(info RunInfo)
+	// PhaseMark fires for every Ctx.Mark a program emitted, after the
+	// round's step barrier (round 0 = marks emitted during Init).
+	PhaseMark(node, round int, name string)
+	// NodeHalted fires once per node, after the step barrier of the round
+	// in which the node called Halt (round 0 = halted during Init).
+	NodeHalted(node, round int)
+	// RoundEnd fires once per executed round with the aggregated record,
+	// after that round's PhaseMark/NodeHalted events.
+	RoundEnd(rec *RoundRecord)
+	// RunEnd fires when the run returns (not on a program panic), with
+	// the final round count and the run's error, if any.
+	RunEnd(rounds int, err error)
+}
+
+// NopProbe implements Probe with no-ops; embed it to write probes that
+// only care about a subset of the hooks.
+type NopProbe struct{}
+
+func (NopProbe) RunStart(RunInfo)           {}
+func (NopProbe) PhaseMark(int, int, string) {}
+func (NopProbe) NodeHalted(int, int)        {}
+func (NopProbe) RoundEnd(*RoundRecord)      {}
+func (NopProbe) RunEnd(int, error)          {}
+
+// MultiProbe fans every hook out to each member in order.
+type MultiProbe []Probe
+
+func (m MultiProbe) RunStart(info RunInfo) {
+	for _, p := range m {
+		p.RunStart(info)
+	}
+}
+
+func (m MultiProbe) PhaseMark(node, round int, name string) {
+	for _, p := range m {
+		p.PhaseMark(node, round, name)
+	}
+}
+
+func (m MultiProbe) NodeHalted(node, round int) {
+	for _, p := range m {
+		p.NodeHalted(node, round)
+	}
+}
+
+func (m MultiProbe) RoundEnd(rec *RoundRecord) {
+	for _, p := range m {
+		p.RoundEnd(rec)
+	}
+}
+
+func (m MultiProbe) RunEnd(rounds int, err error) {
+	for _, p := range m {
+		p.RunEnd(rounds, err)
+	}
+}
+
+// SetProbe attaches a probe to the network (nil detaches). It must be set
+// before Run; the receiver returns itself so construction can chain.
+func (n *Network) SetProbe(p Probe) *Network {
+	n.probe = p
+	return n
+}
+
+// Mark emits a named phase marker attributed to this node and the current
+// round. Markers are observability only: they reach the attached probe
+// (in node-ID order after the round's step barrier) and never affect the
+// execution. Without a probe the call is a no-op; guard any expensive
+// name construction with Tracing.
+func (c *Ctx) Mark(name string) {
+	if c.net.probe == nil {
+		return
+	}
+	c.marks = append(c.marks, phaseMark{round: c.net.rounds, name: name})
+}
+
+// Tracing reports whether a probe is attached, so programs can skip
+// building mark names that would be dropped.
+func (c *Ctx) Tracing() bool { return c.net.probe != nil }
+
+// phaseMark is a queued Ctx.Mark, drained by the coordinator.
+type phaseMark struct {
+	round int
+	name  string
+}
+
+// probeState holds the per-run scratch buffers of the probe layer,
+// allocated only when a probe is attached.
+type probeState struct {
+	inboxSizes []int
+	edgeLoad   []int32
+	touched    []int32
+}
+
+// probeRunStart announces the run and allocates the scratch buffers.
+func (n *Network) probeRunStart(engine string, workers int) {
+	if n.probe == nil {
+		return
+	}
+	if n.ps == nil {
+		n.ps = &probeState{
+			inboxSizes: make([]int, n.g.N()),
+			edgeLoad:   make([]int32, 2*n.g.M()),
+		}
+	}
+	n.probe.RunStart(RunInfo{
+		Engine:  engine,
+		Workers: workers,
+		Nodes:   n.g.N(),
+		Edges:   n.g.M(),
+	})
+}
+
+// probeDrainEvents forwards queued phase marks and halt events in node-ID
+// order. Marks and halt flags are written only by the worker owning the
+// node's shard; the coordinator drains them between barriers.
+func (n *Network) probeDrainEvents() {
+	for v, ctx := range n.ctxs {
+		if len(ctx.marks) > 0 {
+			for _, m := range ctx.marks {
+				n.probe.PhaseMark(v, m.round, m.name)
+			}
+			ctx.marks = ctx.marks[:0]
+		}
+		if ctx.justHalted {
+			ctx.justHalted = false
+			n.probe.NodeHalted(v, ctx.haltRound)
+		}
+	}
+}
+
+// probeRoundFlush aggregates the round just executed and fires the
+// per-round hooks. It reads the inboxes built by the deliver phase (which
+// survive untouched through Step) rather than instrumenting the delivery
+// hot path, so the engines carry no per-message probe cost.
+func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int) {
+	ps := n.ps
+	rec := &RoundRecord{
+		Round:        n.rounds,
+		Delivered:    delivered,
+		Active:       active,
+		MaxInboxNode: -1,
+		InboxSizes:   ps.inboxSizes,
+		EdgeLoad:     ps.edgeLoad,
+	}
+	for u, inbox := range inboxes {
+		ps.inboxSizes[u] = len(inbox)
+		if len(inbox) > rec.MaxInbox {
+			rec.MaxInbox = len(inbox)
+			rec.MaxInboxNode = u
+		}
+		for _, in := range inbox {
+			edgeID := n.g.Neighbors(u)[in.Port].EdgeID
+			slot := int32(2 * edgeID)
+			if n.g.Edge(edgeID).V == u {
+				slot++
+			}
+			if ps.edgeLoad[slot] == 0 {
+				ps.touched = append(ps.touched, slot)
+			}
+			ps.edgeLoad[slot]++
+			if int(ps.edgeLoad[slot]) > rec.MaxEdgeLoad {
+				rec.MaxEdgeLoad = int(ps.edgeLoad[slot])
+			}
+		}
+	}
+	for _, ctx := range n.ctxs {
+		if ctx.halted {
+			rec.Halted++
+		}
+	}
+	n.probeDrainEvents()
+	n.probe.RoundEnd(rec)
+	for _, slot := range ps.touched {
+		ps.edgeLoad[slot] = 0
+	}
+	ps.touched = ps.touched[:0]
+}
+
+// finish fires RunEnd and returns the run result; every engine return
+// path goes through it.
+func (n *Network) finish(err error) (int, error) {
+	if n.probe != nil {
+		n.probe.RunEnd(n.rounds, err)
+	}
+	return n.rounds, err
+}
+
+// begin enforces that a Network is single-use: rounds, message shards and
+// program state all accumulate across rounds, so re-running Init over
+// them would silently corrupt the results.
+func (n *Network) begin() error {
+	if n.started {
+		return fmt.Errorf("congest: %w", ErrNetworkReused)
+	}
+	n.started = true
+	return nil
+}

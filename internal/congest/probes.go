@@ -1,0 +1,329 @@
+package congest
+
+// Built-in probes: a per-round message/congestion trace, a per-node load
+// trace, and a phase timeline, each exportable as JSON and as a
+// harness.Table (whose CSV method gives the RFC-4180 form). TraceSink
+// bundles the three behind one Probe for the experiment binaries'
+// -trace flags.
+//
+// All built-ins are multi-run aware: a single probe may observe several
+// consecutive runs (the -trace flag of cmd/walks records every table row's
+// run into one file), and every exported record carries the run's name so
+// the segments stay distinguishable. Run names deliberately exclude the
+// engine and worker count: traces are part of the measured results, which
+// are bit-identical across engines, so the exported bytes must be too.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"almostmix/internal/harness"
+)
+
+// RoundSample is one exported row of a RoundTrace.
+type RoundSample struct {
+	Run          string `json:"run,omitempty"`
+	Round        int    `json:"round"`
+	Delivered    int    `json:"delivered"`
+	Active       int    `json:"active"`
+	Halted       int    `json:"halted"`
+	MaxInbox     int    `json:"max_inbox"`
+	MaxInboxNode int    `json:"max_inbox_node"`
+	MaxEdgeLoad  int    `json:"max_edge_load"`
+}
+
+// RoundTrace records one RoundSample per executed round: the per-round
+// message volume and congestion trajectory (delivered messages, active
+// and halted node counts, maximum inbox, maximum directed-edge load).
+// For analytic engines the max_edge_load column is the per-step
+// congestion Lemma 2.5 bounds — for randomwalk.Run it equals
+// Stats.PerStepMaxLoad entry for entry.
+type RoundTrace struct {
+	NopProbe
+	run     string
+	Samples []RoundSample
+}
+
+// NewRoundTrace returns an empty per-round trace probe.
+func NewRoundTrace() *RoundTrace { return &RoundTrace{} }
+
+func (t *RoundTrace) RunStart(info RunInfo) { t.run = info.Name }
+
+func (t *RoundTrace) RoundEnd(rec *RoundRecord) {
+	t.Samples = append(t.Samples, RoundSample{
+		Run:          t.run,
+		Round:        rec.Round,
+		Delivered:    rec.Delivered,
+		Active:       rec.Active,
+		Halted:       rec.Halted,
+		MaxInbox:     rec.MaxInbox,
+		MaxInboxNode: rec.MaxInboxNode,
+		MaxEdgeLoad:  rec.MaxEdgeLoad,
+	})
+}
+
+// Table renders the trace as a harness table (one row per round).
+func (t *RoundTrace) Table() *harness.Table {
+	tb := harness.NewTable("per-round trace",
+		"run", "round", "delivered", "active", "halted",
+		"max_inbox", "max_inbox_node", "max_edge_load")
+	for _, s := range t.Samples {
+		tb.AddRow(s.Run, s.Round, s.Delivered, s.Active, s.Halted,
+			s.MaxInbox, s.MaxInboxNode, s.MaxEdgeLoad)
+	}
+	return tb
+}
+
+// Histogram buckets the per-round max edge load by powers of two — the
+// congestion distribution over the run(s).
+func (t *RoundTrace) Histogram() *harness.Table {
+	var buckets []int
+	for _, s := range t.Samples {
+		b := 0
+		for v := s.MaxEdgeLoad; v > 1; v >>= 1 {
+			b++
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b]++
+	}
+	tb := harness.NewTable("max edge load histogram", "load", "rounds")
+	for b, c := range buckets {
+		lo, hi := 1<<b, 1<<(b+1)-1
+		label := fmt.Sprintf("%d", lo)
+		if hi > lo {
+			label = fmt.Sprintf("%d–%d", lo, hi)
+		}
+		tb.AddRow(label, c)
+	}
+	return tb
+}
+
+// NodeLoadSample is one exported row of a NodeLoadTrace: the most loaded
+// node of one round.
+type NodeLoadSample struct {
+	Run     string `json:"run,omitempty"`
+	Round   int    `json:"round"`
+	Node    int    `json:"node"`
+	MaxLoad int    `json:"max_load"`
+}
+
+// NodeLoadTrace records the max-load-per-node trajectory: per round, the
+// node with the largest inbox and its size (the Lemma 2.4 occupancy
+// quantity for walk workloads), plus cumulative per-node delivery totals
+// aggregated over all observed runs.
+type NodeLoadTrace struct {
+	NopProbe
+	run      string
+	PerRound []NodeLoadSample
+	// Totals[v] counts all messages delivered to node v across runs.
+	Totals []int
+}
+
+// NewNodeLoadTrace returns an empty per-node load trace probe.
+func NewNodeLoadTrace() *NodeLoadTrace { return &NodeLoadTrace{} }
+
+func (t *NodeLoadTrace) RunStart(info RunInfo) {
+	t.run = info.Name
+	if len(t.Totals) < info.Nodes {
+		grown := make([]int, info.Nodes)
+		copy(grown, t.Totals)
+		t.Totals = grown
+	}
+}
+
+func (t *NodeLoadTrace) RoundEnd(rec *RoundRecord) {
+	t.PerRound = append(t.PerRound, NodeLoadSample{
+		Run:     t.run,
+		Round:   rec.Round,
+		Node:    rec.MaxInboxNode,
+		MaxLoad: rec.MaxInbox,
+	})
+	for v, s := range rec.InboxSizes {
+		t.Totals[v] += s
+	}
+}
+
+// Table renders the per-round max-load trace.
+func (t *NodeLoadTrace) Table() *harness.Table {
+	tb := harness.NewTable("per-round max node load", "run", "round", "node", "max_load")
+	for _, s := range t.PerRound {
+		tb.AddRow(s.Run, s.Round, s.Node, s.MaxLoad)
+	}
+	return tb
+}
+
+// TotalsTable renders the cumulative per-node delivery totals.
+func (t *NodeLoadTrace) TotalsTable() *harness.Table {
+	tb := harness.NewTable("per-node delivered totals", "node", "delivered")
+	for v, c := range t.Totals {
+		tb.AddRow(v, c)
+	}
+	return tb
+}
+
+// PhaseEntry is one coalesced phase-timeline entry: all marks sharing a
+// name within one run, with the round span they cover. Halt events appear
+// under the reserved name "halt".
+type PhaseEntry struct {
+	Run        string `json:"run,omitempty"`
+	Name       string `json:"name"`
+	Count      int    `json:"count"`
+	FirstRound int    `json:"first_round"`
+	LastRound  int    `json:"last_round"`
+}
+
+// PhaseTimeline collects the named phase markers programs emit via
+// Ctx.Mark, plus node halt events, coalesced by (run, name) so the export
+// stays compact even when every node marks every phase.
+type PhaseTimeline struct {
+	NopProbe
+	run     string
+	Entries []PhaseEntry
+	idx     map[string]int
+}
+
+// NewPhaseTimeline returns an empty phase-timeline probe.
+func NewPhaseTimeline() *PhaseTimeline { return &PhaseTimeline{idx: map[string]int{}} }
+
+func (t *PhaseTimeline) RunStart(info RunInfo) { t.run = info.Name }
+
+func (t *PhaseTimeline) PhaseMark(node, round int, name string) { t.note(round, name) }
+
+func (t *PhaseTimeline) NodeHalted(node, round int) { t.note(round, "halt") }
+
+func (t *PhaseTimeline) note(round int, name string) {
+	key := t.run + "\x00" + name
+	if i, ok := t.idx[key]; ok {
+		e := &t.Entries[i]
+		e.Count++
+		if round < e.FirstRound {
+			e.FirstRound = round
+		}
+		if round > e.LastRound {
+			e.LastRound = round
+		}
+		return
+	}
+	t.idx[key] = len(t.Entries)
+	t.Entries = append(t.Entries, PhaseEntry{
+		Run: t.run, Name: name, Count: 1, FirstRound: round, LastRound: round,
+	})
+}
+
+// Table renders the timeline, one row per (run, name).
+func (t *PhaseTimeline) Table() *harness.Table {
+	tb := harness.NewTable("phase timeline", "run", "phase", "count", "first_round", "last_round")
+	for _, e := range t.Entries {
+		tb.AddRow(e.Run, e.Name, e.Count, e.FirstRound, e.LastRound)
+	}
+	return tb
+}
+
+// TraceSink bundles the three built-in probes behind one Probe, labels
+// consecutive runs, and writes the combined trace to a file — JSON for
+// .json paths, concatenated CSV tables otherwise. It backs the -trace
+// flag of cmd/walks, cmd/mst and cmd/routing.
+type TraceSink struct {
+	label  string
+	Rounds *RoundTrace
+	Loads  *NodeLoadTrace
+	Phases *PhaseTimeline
+}
+
+// NewTraceSink returns a sink with fresh built-in probes.
+func NewTraceSink() *TraceSink {
+	return &TraceSink{
+		Rounds: NewRoundTrace(),
+		Loads:  NewNodeLoadTrace(),
+		Phases: NewPhaseTimeline(),
+	}
+}
+
+// Label names the next run(s) observed by the sink. Engines start runs
+// unnamed; a run that announces its own name (RunInfo.Name) is prefixed
+// with the label instead of replaced, so "rr64d8" + "prep" exports as
+// "rr64d8 prep".
+func (s *TraceSink) Label(name string) *TraceSink {
+	s.label = name
+	return s
+}
+
+func (s *TraceSink) fanout() MultiProbe { return MultiProbe{s.Rounds, s.Loads, s.Phases} }
+
+func (s *TraceSink) RunStart(info RunInfo) {
+	info.Name = strings.TrimSpace(s.label + " " + info.Name)
+	s.fanout().RunStart(info)
+}
+
+func (s *TraceSink) PhaseMark(node, round int, name string) {
+	s.fanout().PhaseMark(node, round, name)
+}
+
+func (s *TraceSink) NodeHalted(node, round int) { s.fanout().NodeHalted(node, round) }
+
+func (s *TraceSink) RoundEnd(rec *RoundRecord) { s.fanout().RoundEnd(rec) }
+
+func (s *TraceSink) RunEnd(rounds int, err error) { s.fanout().RunEnd(rounds, err) }
+
+// traceJSON is the on-disk JSON shape of a TraceSink.
+type traceJSON struct {
+	Rounds     []RoundSample    `json:"rounds"`
+	NodeLoads  []NodeLoadSample `json:"node_loads"`
+	NodeTotals []int            `json:"node_totals"`
+	Phases     []PhaseEntry     `json:"phases"`
+}
+
+// WriteJSON writes the combined trace as one JSON document.
+func (s *TraceSink) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceJSON{
+		Rounds:     s.Rounds.Samples,
+		NodeLoads:  s.Loads.PerRound,
+		NodeTotals: s.Loads.Totals,
+		Phases:     s.Phases.Entries,
+	})
+}
+
+// WriteCSV writes the combined trace as consecutive CSV tables separated
+// by blank lines, in the order: per-round trace, per-round max node load,
+// per-node totals, phase timeline.
+func (s *TraceSink) WriteCSV(w io.Writer) error {
+	for i, tb := range []*harness.Table{
+		s.Rounds.Table(), s.Loads.Table(), s.Loads.TotalsTable(), s.Phases.Table(),
+	} {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, tb.CSV()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the trace to path: JSON when the extension is .json,
+// CSV otherwise.
+func (s *TraceSink) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".json" {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

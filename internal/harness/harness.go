@@ -93,17 +93,35 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (quotes are not needed
-// for the numeric/identifier content these tables hold).
+// CSV renders the table as RFC-4180 comma-separated values: cells
+// containing a comma, quote or line break are quoted, with embedded
+// quotes doubled, so free-text cells (run labels, phase names) survive
+// round-tripping through standard CSV readers.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ","))
-	b.WriteByte('\n')
-	for _, row := range t.rows {
-		b.WriteString(strings.Join(row, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
 		b.WriteByte('\n')
 	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
 	return b.String()
+}
+
+// csvEscape quotes a cell per RFC 4180 when it contains a delimiter,
+// quote or line break.
+func csvEscape(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\r\n") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
 }
 
 // LogLogSlope fits ln(y) = a + s·ln(x) by least squares and returns the

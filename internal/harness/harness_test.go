@@ -35,6 +35,32 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// TestTableCSVEscaping: cells containing separators, quotes or line
+// breaks must come out RFC-4180 quoted, with embedded quotes doubled.
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.AddRow("a,b", `say "hi"`)
+	tb.AddRow("line\nbreak", "cr\r\nlf")
+	tb.AddRow("plain", 3.5)
+	want := "name,note\n" +
+		`"a,b","say ""hi"""` + "\n" +
+		"\"line\nbreak\",\"cr\r\nlf\"\n" +
+		"plain,3.5\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV escaping:\n got %q\nwant %q", got, want)
+	}
+}
+
+// Headers go through the same escaping as data cells.
+func TestTableCSVEscapesHeader(t *testing.T) {
+	tb := NewTable("", "a,b", "c")
+	tb.AddRow(1, 2)
+	want := "\"a,b\",c\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
 func TestLogLogSlope(t *testing.T) {
 	// y = 3·x²: slope 2.
 	xs := []float64{1, 2, 4, 8, 16}

@@ -157,7 +157,13 @@ func (p *ghsNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
 
 	if offset == 0 {
 		// Window boundary: commit the previous window's merge, halt if
-		// the graph is spanned, then open the new window.
+		// the graph is spanned, then open the new window. Node 0 marks
+		// the boundary for the phase timeline (it steps until the end:
+		// every node halts at the same boundary, after the spanning
+		// fragment's "none" decision floods).
+		if ctx.ID() == 0 && ctx.Tracing() {
+			ctx.Mark(fmt.Sprintf("window %d", (ctx.Round()-1)/w))
+		}
 		if p.adopted {
 			p.frag = p.newFrag
 			p.parentPort = p.newParent
@@ -335,6 +341,15 @@ func GHSNetwork(g *graph.Graph, src *rngutil.Source) (*Result, error) {
 // schedule — is bit-identical for every worker count; only wall-clock time
 // changes.
 func GHSNetworkParallel(g *graph.Graph, src *rngutil.Source, workers int) (*Result, error) {
+	return GHSNetworkProbe(g, src, workers, nil)
+}
+
+// GHSNetworkProbe runs like GHSNetworkParallel with a probe attached to
+// the simulator (see congest.Probe): the probe sees every round's
+// delivery profile plus a phase mark per Borůvka window, emitted by node
+// 0 at each window boundary. A nil probe is identical to
+// GHSNetworkParallel.
+func GHSNetworkProbe(g *graph.Graph, src *rngutil.Source, workers int, probe congest.Probe) (*Result, error) {
 	if !g.IsConnected() {
 		return nil, fmt.Errorf("mstbase: %w", graph.ErrDisconnected)
 	}
@@ -343,7 +358,7 @@ func GHSNetworkParallel(g *graph.Graph, src *rngutil.Source, workers int) (*Resu
 	net := congest.NewUniformNetwork(g, func(v int) congest.Program {
 		nodes[v] = &ghsNode{run: run}
 		return nodes[v]
-	}, src).SetWorkers(workers)
+	}, src).SetWorkers(workers).SetProbe(probe)
 	iterBudget := 2*log2int(g.N()) + 4
 	rounds, err := net.Run(run.window*iterBudget + 2)
 	if err != nil {

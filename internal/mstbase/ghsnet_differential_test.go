@@ -9,14 +9,32 @@ package mstbase
 // parallel engine preserves program semantics.
 
 import (
+	"bytes"
 	"reflect"
 	"sort"
 	"testing"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/graph"
 	"almostmix/internal/mst"
 	"almostmix/internal/rngutil"
 )
+
+// ghsTrace runs the GHS node program with the bundled trace sink attached
+// and returns the exported JSON bytes.
+func ghsTrace(t *testing.T, g *graph.Graph, seed uint64, workers int) ([]byte, *Result) {
+	t.Helper()
+	sink := congest.NewTraceSink().Label("ghs")
+	res, err := GHSNetworkProbe(g, rngutil.NewSource(seed), workers, sink)
+	if err != nil {
+		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
 
 func TestGHSNetworkDifferential(t *testing.T) {
 	seeds := []uint64{3, 11, 29}
@@ -36,10 +54,7 @@ func TestGHSNetworkDifferential(t *testing.T) {
 		}
 		g.AssignDistinctRandomWeights(r)
 
-		ref, err := GHSNetwork(g, rngutil.NewSource(seed))
-		if err != nil {
-			t.Fatalf("seed %d: sequential: %v", seed, err)
-		}
+		refTrace, ref := ghsTrace(t, g, seed, 1)
 		_, wantWeight := mst.Kruskal(g)
 		if ref.Weight != wantWeight {
 			t.Fatalf("seed %d: sequential GHS weight %v, Kruskal %v", seed, ref.Weight, wantWeight)
@@ -48,16 +63,19 @@ func TestGHSNetworkDifferential(t *testing.T) {
 		sort.Ints(refEdges)
 
 		for _, workers := range []int{1, 2, 8} {
-			got, err := GHSNetworkParallel(g, rngutil.NewSource(seed), workers)
-			if err != nil {
-				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
-			}
+			gotTrace, got := ghsTrace(t, g, seed, workers)
 			gotEdges := append([]int(nil), got.Edges...)
 			sort.Ints(gotEdges)
 			if got.Rounds != ref.Rounds || got.Weight != ref.Weight ||
 				!reflect.DeepEqual(gotEdges, refEdges) {
 				t.Errorf("seed %d workers %d: (rounds=%d weight=%v) diverges from sequential (rounds=%d weight=%v)",
 					seed, workers, got.Rounds, got.Weight, ref.Rounds, ref.Weight)
+			}
+			// The exported trace is part of the measured results, so it
+			// must be byte-identical across engines and worker counts.
+			if !bytes.Equal(gotTrace, refTrace) {
+				t.Errorf("seed %d workers %d: exported trace diverges from sequential (%d vs %d bytes)",
+					seed, workers, len(gotTrace), len(refTrace))
 			}
 		}
 	}

@@ -92,6 +92,15 @@ func (p *walkNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
 // <= 0 one worker per CPU. Results are bit-identical across worker counts
 // and reproducible given the seed source.
 func RunNetwork(g *graph.Graph, counts []int, steps int, src *rngutil.Source, workers int) (*NetworkWalkResult, error) {
+	return RunNetworkProbe(g, counts, steps, src, workers, nil)
+}
+
+// RunNetworkProbe runs like RunNetwork with a probe attached to the
+// simulator: the probe sees the genuine per-round trajectory (messages
+// delivered, inbox sizes = queued tokens entering each node, per-edge
+// deliveries), which is the measured counterpart of the analytic trace
+// Config.Probe exposes on Run. A nil probe is identical to RunNetwork.
+func RunNetworkProbe(g *graph.Graph, counts []int, steps int, src *rngutil.Source, workers int, probe congest.Probe) (*NetworkWalkResult, error) {
 	if len(counts) != g.N() {
 		panic(fmt.Sprintf("randomwalk: %d counts for %d nodes", len(counts), g.N()))
 	}
@@ -105,7 +114,7 @@ func RunNetwork(g *graph.Graph, counts []int, steps int, src *rngutil.Source, wo
 	res := &NetworkWalkResult{ArrivedAt: make([]int, g.N())}
 	net := congest.NewUniformNetwork(g, func(v int) congest.Program {
 		return &walkNode{steps: steps, counts: counts, arrived: res.ArrivedAt}
-	}, src).SetWorkers(workers)
+	}, src).SetWorkers(workers).SetProbe(probe)
 	// Every round at least one token hops while any remain in flight, so
 	// total hops bounds the makespan.
 	rounds, err := net.RunUntilQuiet(total*steps + 4)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/graph"
 	"almostmix/internal/spectral"
 )
@@ -44,6 +45,9 @@ func (w *Walk) Moves() int {
 }
 
 // Stats captures the congestion quantities that Lemmas 2.4 and 2.5 bound.
+// It is the aggregate view; the per-step trajectory is also exposed
+// through the simulator's uniform probe layer (Config.Probe), whose
+// max_edge_load column equals PerStepMaxLoad entry for entry.
 type Stats struct {
 	// Rounds is the total measured CONGEST rounds to execute all steps:
 	// the sum over steps of the maximum directed-edge load.
@@ -74,6 +78,16 @@ type Config struct {
 	// of them and the additive log n congestion term disappears. Each
 	// token's marginal transition distribution is unchanged.
 	Correlated bool
+	// Probe, when non-nil, observes the execution through the simulator's
+	// uniform observability layer: one RoundRecord per walk step, with
+	// Delivered = edge traversals, MaxEdgeLoad = the step's maximum
+	// directed-edge load (the Lemma 2.5 congestion, == PerStepMaxLoad),
+	// InboxSizes = tokens resident per node after the step (the Lemma 2.4
+	// occupancy), and Active = the token count. Hooks fire on the calling
+	// goroutine; the handed slices are only valid during each call.
+	Probe congest.Probe
+	// TraceName labels the run in the probe's RunInfo.
+	TraceName string
 }
 
 // Result is the outcome of a parallel walk execution.
@@ -117,11 +131,23 @@ func Run(g *graph.Graph, sources []int32, cfg Config, rng *rand.Rand) *Result {
 		tokensAt[s]++
 	}
 	res.noteOccupancy(g, tokensAt)
+	var inboxBuf []int // per-node occupancy copy handed to the probe
+	if cfg.Probe != nil {
+		inboxBuf = make([]int, g.N())
+		cfg.Probe.RunStart(congest.RunInfo{
+			Name:    cfg.TraceName,
+			Engine:  "randomwalk",
+			Workers: 1,
+			Nodes:   g.N(),
+			Edges:   g.M(),
+		})
+	}
 
 	for step := 0; step < cfg.Steps; step++ {
-		maxLoad := 0
+		maxLoad, moves := 0, 0
 		applyMove := func(i, v, next, edgeID int) {
 			if next != v {
+				moves++
 				dir := 0
 				if g.Edge(edgeID).V == next {
 					dir = 1
@@ -151,16 +177,40 @@ func Run(g *graph.Graph, sources []int32, cfg Config, rng *rand.Rand) *Result {
 				applyMove(i, v, next, edgeID)
 			}
 		}
-		for _, slot := range touched {
-			edgeLoad[slot] = 0
-		}
-		touched = touched[:0]
 		if maxLoad == 0 {
 			maxLoad = 1 // a phase takes at least one round even if all tokens stayed
 		}
 		res.Stats.PerStepMaxLoad[step] = maxLoad
 		res.Stats.Rounds += maxLoad
 		res.noteOccupancy(g, tokensAt)
+		if cfg.Probe != nil {
+			// Emit the step record before the edge loads are cleared: one
+			// "round" per walk step, congestion as Lemma 2.5 counts it.
+			rec := &congest.RoundRecord{
+				Round:        step + 1,
+				Delivered:    moves,
+				Active:       nWalks,
+				MaxInboxNode: -1,
+				MaxEdgeLoad:  maxLoad,
+				InboxSizes:   inboxBuf,
+				EdgeLoad:     edgeLoad,
+			}
+			for v, c := range tokensAt {
+				inboxBuf[v] = int(c)
+				if int(c) > rec.MaxInbox {
+					rec.MaxInbox = int(c)
+					rec.MaxInboxNode = v
+				}
+			}
+			cfg.Probe.RoundEnd(rec)
+		}
+		for _, slot := range touched {
+			edgeLoad[slot] = 0
+		}
+		touched = touched[:0]
+	}
+	if cfg.Probe != nil {
+		cfg.Probe.RunEnd(res.Stats.Rounds, nil)
 	}
 	return res
 }

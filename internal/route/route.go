@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/pathsched"
 	"almostmix/internal/randomwalk"
@@ -75,16 +76,40 @@ type router struct {
 	// trace, when non-nil, records every overlay-edge traversal per
 	// packet for RouteExact's full expansion.
 	trace [][]traversal
+	// probe, when non-nil, observes the run through the simulator's
+	// uniform observability layer: the preparation walks emit per-step
+	// congestion records, and the recursion emits phase marks positioned
+	// at the cumulative G0-round cost they were incurred at (g0Done).
+	probe  congest.Probe
+	g0Done int
+}
+
+// mark emits a phase marker at the current cumulative G0 cost.
+func (r *router) mark(name string) {
+	if r.probe != nil {
+		r.probe.PhaseMark(-1, r.g0Done, name)
+	}
 }
 
 // Route delivers all requests and returns the measured cost report. Each
 // destination virtual index must exist (DstIndex < degree of DstNode).
 func Route(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*Report, error) {
+	return RouteTraced(h, reqs, src, nil)
+}
+
+// RouteTraced runs like Route with a probe observing the run: the
+// preparation walks report per-step congestion through
+// randomwalk.Config.Probe (run name "prep"), and the recursion reports a
+// phase timeline (run name "recursion") whose marks sit at the cumulative
+// G0-round cost each leaf batch or portal hop was incurred at. A nil
+// probe is identical to Route.
+func RouteTraced(h *embed.Hierarchy, reqs []Request, src *rngutil.Source, probe congest.Probe) (*Report, error) {
 	r := &router{
-		h:   h,
-		cur: make([]int32, len(reqs)),
-		dst: make([]int32, len(reqs)),
-		rng: src.Stream("route", 0),
+		h:     h,
+		cur:   make([]int32, len(reqs)),
+		dst:   make([]int32, len(reqs)),
+		rng:   src.Stream("route", 0),
+		probe: probe,
 		report: &Report{
 			HopG0Rounds: make([]int, h.Levels),
 		},
@@ -100,6 +125,15 @@ func Route(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*Report, er
 	r.prepare(reqs, src)
 	r.leafAdj = newPartBFS(h.Overlay(h.Levels))
 
+	if r.probe != nil {
+		r.probe.RunStart(congest.RunInfo{
+			Name:    "recursion",
+			Engine:  "route",
+			Workers: 1,
+			Nodes:   h.Base.N(),
+			Edges:   h.Base.M(),
+		})
+	}
 	pkts := make([]int, len(reqs))
 	for i := range pkts {
 		pkts[i] = i
@@ -107,6 +141,9 @@ func Route(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*Report, er
 	cost, err := r.route(0, pkts, r.dst)
 	if err != nil {
 		return nil, err
+	}
+	if r.probe != nil {
+		r.probe.RunEnd(cost, nil)
 	}
 	r.report.G0Rounds = cost
 	r.report.BaseRounds = r.report.PrepRounds + cost*h.G0.EmulationRounds
@@ -128,8 +165,10 @@ func (r *router) prepare(reqs []Request, src *rngutil.Source) {
 		sources[i] = int32(req.SrcNode)
 	}
 	res := randomwalk.Run(r.h.Base, sources, randomwalk.Config{
-		Kind:  spectral.Lazy,
-		Steps: r.h.TauMix,
+		Kind:      spectral.Lazy,
+		Steps:     r.h.TauMix,
+		Probe:     r.probe,
+		TraceName: "prep",
 	}, src.Stream("prep", 0))
 	for i := range reqs {
 		end := int(res.Ends[i])
@@ -213,6 +252,10 @@ func (r *router) route(level int, pkts []int, targets []int32) (int, error) {
 	hopG0 := maxLoad * r.h.EmulationToG0(level)
 	r.report.HopG0Rounds[level] += hopG0 // hop happens between level-(level+1) parts over G_level edges
 	cost += hopG0
+	r.g0Done += hopG0
+	if r.probe != nil {
+		r.mark(fmt.Sprintf("portal hop level %d", next))
+	}
 
 	// Phase B: crossing packets finish inside the destination part.
 	bPkts := make([]int, len(crossing))
@@ -257,5 +300,7 @@ func (r *router) routeLeaf(pkts []int, targets []int32) (int, error) {
 	r.report.LeafSchedules++
 	leafG0 := res.Makespan * r.h.EmulationToG0(r.h.Levels)
 	r.report.LeafG0Rounds += leafG0
+	r.g0Done += leafG0
+	r.mark("leaf movement")
 	return leafG0, nil
 }

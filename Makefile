@@ -5,7 +5,7 @@
 
 SHORT ?= -short
 
-.PHONY: build vet test race check bench fuzz
+.PHONY: build vet test race check bench fuzz smoke
 
 build:
 	go build ./...
@@ -20,6 +20,11 @@ race:
 	go test -race $(SHORT) ./...
 
 check: vet test race
+
+# End-to-end smoke of every experiment driver: build each cmd/ binary, run
+# it at tiny scale with -trace, and check the trace lands non-empty.
+smoke:
+	sh scripts/smoke.sh
 
 bench:
 	go test -run xxx -bench . -benchmem ./...

@@ -5,6 +5,7 @@ import (
 
 	"almostmix/internal/cliquealgo"
 	"almostmix/internal/cliquemu"
+	"almostmix/internal/cost"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/mincut"
@@ -41,6 +42,14 @@ type (
 	MinCutResult = mincut.ApproxResult
 	// WalkKind selects the lazy or the 2Δ-regular random walk.
 	WalkKind = spectral.WalkKind
+	// CostLedger is the hierarchical span ledger every embedded-tier
+	// round total is derived from (Hierarchy.Costs, RouteReport.Costs,
+	// MSTResult.Costs, CliqueResult.Costs).
+	CostLedger = cost.Ledger
+	// CostSpan is one node of a CostLedger's span tree.
+	CostSpan = cost.Span
+	// CostRow is one flattened ledger row, as exported by -trace.
+	CostRow = cost.Row
 )
 
 // Walk kinds (Definition 2.1 and 2.2).

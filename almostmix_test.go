@@ -235,3 +235,37 @@ func TestMargulisExpanderIsGoodSubstrate(t *testing.T) {
 		t.Fatalf("delivered %d of %d", rep.Delivered, g.N())
 	}
 }
+
+func TestCostLedgerFacade(t *testing.T) {
+	f := fixture(t)
+	var led *CostLedger = f.h.Costs
+	if led == nil {
+		t.Fatal("hierarchy has no cost ledger")
+	}
+	var root *CostSpan = led.Root
+	if root.Total() != f.h.ConstructionRoundsBase() {
+		t.Fatalf("ledger root %d != ConstructionRoundsBase %d",
+			root.Total(), f.h.ConstructionRoundsBase())
+	}
+	rows := led.Rows()
+	var g0 *CostRow
+	for i := range rows {
+		if rows[i].Path == "construction/g0" {
+			g0 = &rows[i]
+		}
+	}
+	if g0 == nil {
+		t.Fatalf("no construction/g0 row in %d ledger rows", len(rows))
+	}
+	if g0.Total != f.h.G0.ConstructionRounds {
+		t.Fatalf("g0 row total %d != overlay %d", g0.Total, f.h.G0.ConstructionRounds)
+	}
+
+	rep, err := Route(f.h, PermutationWorkload(f.g, 7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Costs == nil || rep.Costs.Root.Total() != rep.BaseRounds {
+		t.Fatalf("route ledger does not carry BaseRounds %d", rep.BaseRounds)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
@@ -25,15 +26,16 @@ func main() {
 	beta := flag.Int("beta", 0, "partition branching factor (0 = paper formula)")
 	leaf := flag.Int("leaf", 0, "leaf part size target (0 = default)")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	trace := flag.String("trace", "", "write the construction cost-ledger breakdown to this file (.json for JSON, CSV otherwise)")
 	flag.Parse()
 
-	if err := run(*n, *d, *beta, *leaf, *seed); err != nil {
+	if err := run(*n, *d, *beta, *leaf, *seed, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "hierarchy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, d, beta, leaf int, seed uint64) error {
+func run(n, d, beta, leaf int, seed uint64, trace string) error {
 	g := graph.RandomRegular(n, d, rngutil.NewRand(seed))
 	tau, err := spectral.MixingTime(g, spectral.Lazy, 1_000_000)
 	if err != nil {
@@ -89,6 +91,15 @@ func run(n, d, beta, leaf int, seed uint64) error {
 		h.ConstructionRoundsBase())
 
 	printFigure1(h)
+
+	if trace != "" {
+		sink := congest.NewTraceSink()
+		sink.Label(fmt.Sprintf("rr%dd%d", n, d)).AddCosts("construction", h.Costs)
+		if err := sink.WriteFile(trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote construction cost ledger (%d rows) to %s\n", len(sink.Costs), trace)
+	}
 	return nil
 }
 

@@ -22,17 +22,23 @@ import (
 func main() {
 	audit := flag.Bool("audit", false, "print the E9 per-iteration virtual-tree audit")
 	ghsnet := flag.Bool("ghsnet", false, "also run the node-program GHS on the CONGEST simulator")
+	quick := flag.Bool("quick", false, "run only the smallest expander instance (CI smoke)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 1, "simulator workers for -ghsnet (1 = sequential reference, 0 = one per CPU); results are identical for every value")
-	trace := flag.String("trace", "", "write a per-round trace of the -ghsnet runs to this file (.json for JSON, CSV otherwise); implies -ghsnet")
+	trace := flag.String("trace", "", "write a trace to this file (.json for JSON, CSV otherwise): per-round records of the -ghsnet runs plus the hierarchical MST's cost-ledger breakdown; implies -ghsnet")
 	flag.Parse()
-	if err := run(*audit, *ghsnet, *seed, *workers, *trace); err != nil {
+	if err := run(*audit, *ghsnet, *quick, *seed, *workers, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "mst:", err)
 		os.Exit(1)
 	}
 }
 
-func run(audit, ghsnet bool, seed uint64, workers int, trace string) error {
+func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string) error {
+	var sink *congest.TraceSink
+	if trace != "" {
+		sink = congest.NewTraceSink()
+		ghsnet = true
+	}
 	instances := []struct {
 		name string
 		g    *graph.Graph
@@ -43,6 +49,9 @@ func run(audit, ghsnet bool, seed uint64, workers int, trace string) error {
 		// Poor-expansion contrast rows: τ_mix is the dominating factor.
 		{"ring64", graph.Ring(64)},
 		{"lollipop32+12", graph.Lollipop(32, 12)},
+	}
+	if quick {
+		instances = instances[:1]
 	}
 	t := harness.NewTable("E1 — Theorem 1.1: MST round counts",
 		"graph", "n", "τ_mix", "hier alg", "hier +build", "GHS", "KP", "weights agree")
@@ -63,6 +72,9 @@ func run(audit, ghsnet bool, seed uint64, workers int, trace string) error {
 		res, err := mst.Run(h, rngutil.NewSource(seed+20))
 		if err != nil {
 			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		if sink != nil {
+			sink.Label(inst.name).AddCosts("hierarchical", res.Costs)
 		}
 		ghs, err := mstbase.GHS(g)
 		if err != nil {
@@ -94,11 +106,6 @@ func run(audit, ghsnet bool, seed uint64, workers int, trace string) error {
 	fmt.Println("and polylogs (flat-ish slope), not by n or D; its constants dominate at")
 	fmt.Println("laptop n, so the observed crossover against Õ(D+√n) is extrapolated.")
 
-	var sink *congest.TraceSink
-	if trace != "" {
-		sink = congest.NewTraceSink()
-		ghsnet = true
-	}
 	if ghsnet {
 		nt := harness.NewTable(
 			fmt.Sprintf("E1b — node-program GHS on the CONGEST simulator (workers=%d)", workers),
@@ -123,8 +130,8 @@ func run(audit, ghsnet bool, seed uint64, workers int, trace string) error {
 		if err := sink.WriteFile(trace); err != nil {
 			return err
 		}
-		fmt.Printf("wrote per-round trace (%d round records) to %s\n",
-			len(sink.Rounds.Samples), trace)
+		fmt.Printf("wrote per-round trace (%d round records, %d cost rows) to %s\n",
+			len(sink.Rounds.Samples), len(sink.Costs), trace)
 	}
 	return nil
 }

@@ -21,11 +21,12 @@ import (
 
 func main() {
 	levels := flag.Bool("levels", false, "print the E8 per-level decomposition for one run")
+	quick := flag.Bool("quick", false, "run only the smallest expander instance (CI smoke)")
 	seed := flag.Uint64("seed", 1, "root random seed")
-	trace := flag.String("trace", "", "write a per-round trace of every routing run to this file (.json for JSON, CSV otherwise): preparation-walk congestion plus the recursion's phase timeline")
+	trace := flag.String("trace", "", "write a per-round trace of every routing run to this file (.json for JSON, CSV otherwise): preparation-walk congestion, the recursion's phase timeline, and the per-run cost-ledger breakdown")
 	flag.Parse()
 
-	if err := run(*levels, *seed, *trace); err != nil {
+	if err := run(*levels, *quick, *seed, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "routing:", err)
 		os.Exit(1)
 	}
@@ -50,7 +51,7 @@ func buildInstance(inst instance, seed uint64) (*embed.Hierarchy, int, error) {
 	return h, tau, nil
 }
 
-func run(levels bool, seed uint64, trace string) error {
+func run(levels, quick bool, seed uint64, trace string) error {
 	var sink *congest.TraceSink
 	if trace != "" {
 		sink = congest.NewTraceSink()
@@ -60,6 +61,9 @@ func run(levels bool, seed uint64, trace string) error {
 		{"rr128d8", graph.RandomRegular(128, 8, rngutil.NewRand(seed+1))},
 		{"rr256d8", graph.RandomRegular(256, 8, rngutil.NewRand(seed+2))},
 		{"lollipop48+16", graph.Lollipop(48, 16)},
+	}
+	if quick {
+		instances = instances[:1]
 	}
 	t := harness.NewTable("E2 — Theorem 1.2: permutation routing",
 		"graph", "n", "τ_mix", "packets", "prep", "G0 rounds", "base rounds", "base/τ")
@@ -80,6 +84,10 @@ func run(levels bool, seed uint64, trace string) error {
 		if err != nil {
 			return err
 		}
+		if sink != nil {
+			sink.AddCosts("route", rep.Costs)
+			sink.AddCosts("construction", h.Costs)
+		}
 		t.AddRow(inst.name, inst.g.N(), tau, len(reqs), rep.PrepRounds,
 			rep.G0Rounds, rep.BaseRounds, float64(rep.BaseRounds)/float64(tau))
 
@@ -90,6 +98,9 @@ func run(levels bool, seed uint64, trace string) error {
 		repH, err := route.RouteTraced(h, heavy, rngutil.NewSource(seed+50), probe)
 		if err != nil {
 			return err
+		}
+		if sink != nil {
+			sink.AddCosts("route", repH.Costs)
 		}
 		td.AddRow(inst.name, inst.g.N(), len(heavy), repH.BaseRounds,
 			float64(repH.BaseRounds)/float64(tau))
@@ -113,8 +124,8 @@ func run(levels bool, seed uint64, trace string) error {
 		if err := sink.WriteFile(trace); err != nil {
 			return err
 		}
-		fmt.Printf("wrote per-round trace (%d round records, %d phase entries) to %s\n",
-			len(sink.Rounds.Samples), len(sink.Phases.Entries), trace)
+		fmt.Printf("wrote per-round trace (%d round records, %d phase entries, %d cost rows) to %s\n",
+			len(sink.Rounds.Samples), len(sink.Phases.Entries), len(sink.Costs), trace)
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/pathsched"
@@ -39,6 +40,10 @@ type Result struct {
 	Messages int
 	// Phases is the number of routing phases used (hierarchical only).
 	Phases int
+	// Costs is the run's cost ledger; Rounds is its root total. For
+	// Hierarchical runs it grafts the phased-routing ledger, for Direct
+	// runs it holds the single BFS schedule span.
+	Costs *cost.Ledger
 }
 
 // AllToAll generates the clique-emulation workload: one request per
@@ -77,10 +82,17 @@ func Hierarchical(h *embed.Hierarchy, src *rngutil.Source) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cliquemu: %w", err)
 	}
+	led := cost.New("clique-emulation", "base rounds")
+	led.Attach(rep.Costs.Root)
+	rounds := led.CloseExpect(rep.BaseRounds)
+	if err := led.Err(); err != nil {
+		return nil, fmt.Errorf("cliquemu: cost ledger: %w", err)
+	}
 	return &Result{
-		Rounds:   rep.BaseRounds,
+		Rounds:   rounds,
 		Messages: rep.Delivered,
 		Phases:   phases,
+		Costs:    led,
 	}, nil
 }
 
@@ -112,10 +124,18 @@ func Direct(g *graph.Graph) (*Result, error) {
 			paths = append(paths, path)
 		}
 	}
-	res := pathsched.Schedule(paths)
+	led := cost.New("clique-direct", "base rounds")
+	sp := led.Open("bfs-schedule", "base rounds", 1)
+	res := pathsched.ScheduleInto(paths, sp)
+	led.CloseExpect(res.Makespan)
+	rounds := led.Close()
+	if err := led.Err(); err != nil {
+		return nil, fmt.Errorf("cliquemu: cost ledger: %w", err)
+	}
 	return &Result{
-		Rounds:   res.Makespan,
+		Rounds:   rounds,
 		Messages: res.Delivered,
+		Costs:    led,
 	}, nil
 }
 

@@ -126,3 +126,59 @@ func TestBoundsShapes(t *testing.T) {
 		t.Fatal("PaperBound edge cases wrong")
 	}
 }
+
+func TestHierarchicalLedger(t *testing.T) {
+	h := testHierarchy(t)
+	res, err := Hierarchical(h, rngutil.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := res.Costs
+	if led == nil {
+		t.Fatal("Hierarchical left Costs nil")
+	}
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != led.Root.Total() {
+		t.Fatalf("Rounds %d != ledger root %d", res.Rounds, led.Root.Total())
+	}
+	// The grafted child is the phased-routing ledger root; its children
+	// (one per phase) sum to the whole run.
+	if len(led.Root.Children) != 1 || led.Root.Children[0].Name != "route-phased" {
+		t.Fatalf("unexpected ledger children %+v", led.Root.Children)
+	}
+	phased := led.Root.Children[0]
+	sum := 0
+	for _, ph := range phased.Children {
+		sum += ph.Rolled()
+	}
+	if sum != res.Rounds {
+		t.Fatalf("phase spans sum %d != Rounds %d", sum, res.Rounds)
+	}
+}
+
+func TestDirectLedger(t *testing.T) {
+	g := graph.Ring(12)
+	res, err := Direct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := res.Costs
+	if led == nil {
+		t.Fatal("Direct left Costs nil")
+	}
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != led.Root.Total() {
+		t.Fatalf("Rounds %d != ledger root %d", res.Rounds, led.Root.Total())
+	}
+	sp := led.Root.Child("bfs-schedule")
+	if sp == nil {
+		t.Fatal("no bfs-schedule span")
+	}
+	if sp.Total() != res.Rounds {
+		t.Fatalf("bfs-schedule span %d != Rounds %d", sp.Total(), res.Rounds)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/graph"
 	"almostmix/internal/rngutil"
 )
@@ -382,5 +383,68 @@ func TestMultiProbeFansOut(t *testing.T) {
 	}
 	if len(a.events) == 0 || fmt.Sprint(a.events) != fmt.Sprint(b.events) {
 		t.Fatalf("fan-out diverged:\n a=%q\n b=%q", a.events, b.events)
+	}
+}
+
+func TestTraceSinkCosts(t *testing.T) {
+	led := cost.New("demo", "base rounds")
+	led.Open("prep", "base rounds", 1)
+	led.Charge(3)
+	led.Close()
+	led.Open("recursion", "G0 rounds", 4)
+	led.Charge(2)
+	led.Close()
+	led.Close()
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := NewTraceSink().Label("unit")
+	sink.AddCosts("route", led)
+	sink.AddCosts("ignored", nil) // nil ledgers are dropped silently
+
+	if len(sink.Costs) != 3 {
+		t.Fatalf("cost samples = %d, want 3", len(sink.Costs))
+	}
+	root := sink.Costs[0]
+	if root.Run != "unit route" || root.Path != "demo" || root.Depth != 0 ||
+		root.Total != 3+4*2 || root.Rolled != 11 {
+		t.Fatalf("root sample %+v", root)
+	}
+	byPath := map[string]CostSample{}
+	for _, c := range sink.Costs {
+		byPath[c.Path] = c
+	}
+	if c := byPath["demo/prep"]; c.Self != 3 || c.Mul != 1 || c.Rolled != 3 || c.Depth != 1 {
+		t.Fatalf("prep sample %+v", c)
+	}
+	if c := byPath["demo/recursion"]; c.Self != 2 || c.Mul != 4 || c.Rolled != 8 || c.Unit != "G0 rounds" {
+		t.Fatalf("recursion sample %+v", c)
+	}
+
+	var buf bytes.Buffer
+	if err := sink.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Costs []CostSample `json:"costs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(doc.Costs) != 3 || doc.Costs[0] != root {
+		t.Fatalf("JSON costs %+v", doc.Costs)
+	}
+
+	buf.Reset()
+	if err := sink.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.Contains(csv, "run,path,unit,depth,self,mul,total,rolled") {
+		t.Fatalf("CSV lacks the cost-ledger header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "unit route,demo/recursion,G0 rounds,1,2,4,2,8") {
+		t.Fatalf("CSV lacks the recursion row:\n%s", csv)
 	}
 }

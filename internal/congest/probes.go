@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/harness"
 )
 
@@ -225,15 +226,29 @@ func (t *PhaseTimeline) Table() *harness.Table {
 	return tb
 }
 
+// CostSample is one exported row of a cost ledger: a flattened span with
+// the run it belongs to.
+type CostSample struct {
+	Run    string `json:"run,omitempty"`
+	Path   string `json:"path"`
+	Unit   string `json:"unit,omitempty"`
+	Depth  int    `json:"depth"`
+	Self   int    `json:"self"`
+	Mul    int    `json:"mul"`
+	Total  int    `json:"total"`
+	Rolled int    `json:"rolled"`
+}
+
 // TraceSink bundles the three built-in probes behind one Probe, labels
-// consecutive runs, and writes the combined trace to a file — JSON for
-// .json paths, concatenated CSV tables otherwise. It backs the -trace
-// flag of cmd/walks, cmd/mst and cmd/routing.
+// consecutive runs, collects cost-ledger breakdowns, and writes the
+// combined trace to a file — JSON for .json paths, concatenated CSV
+// tables otherwise. It backs the -trace flag of the cmd/ binaries.
 type TraceSink struct {
 	label  string
 	Rounds *RoundTrace
 	Loads  *NodeLoadTrace
 	Phases *PhaseTimeline
+	Costs  []CostSample
 }
 
 // NewTraceSink returns a sink with fresh built-in probes.
@@ -271,12 +286,45 @@ func (s *TraceSink) RoundEnd(rec *RoundRecord) { s.fanout().RoundEnd(rec) }
 
 func (s *TraceSink) RunEnd(rounds int, err error) { s.fanout().RunEnd(rounds, err) }
 
+// AddCosts flattens a cost ledger into the sink under the given run name
+// (prefixed with the sink's label like every other record). Nil or empty
+// ledgers add nothing.
+func (s *TraceSink) AddCosts(run string, led *cost.Ledger) {
+	if led == nil {
+		return
+	}
+	run = strings.TrimSpace(s.label + " " + run)
+	for _, row := range led.Rows() {
+		s.Costs = append(s.Costs, CostSample{
+			Run:    run,
+			Path:   row.Path,
+			Unit:   row.Unit,
+			Depth:  row.Depth,
+			Self:   row.Self,
+			Mul:    row.Mul,
+			Total:  row.Total,
+			Rolled: row.Rolled,
+		})
+	}
+}
+
+// CostTable renders the collected cost-ledger rows as a harness table.
+func (s *TraceSink) CostTable() *harness.Table {
+	tb := harness.NewTable("cost ledger",
+		"run", "path", "unit", "depth", "self", "mul", "total", "rolled")
+	for _, c := range s.Costs {
+		tb.AddRow(c.Run, c.Path, c.Unit, c.Depth, c.Self, c.Mul, c.Total, c.Rolled)
+	}
+	return tb
+}
+
 // traceJSON is the on-disk JSON shape of a TraceSink.
 type traceJSON struct {
 	Rounds     []RoundSample    `json:"rounds"`
 	NodeLoads  []NodeLoadSample `json:"node_loads"`
 	NodeTotals []int            `json:"node_totals"`
 	Phases     []PhaseEntry     `json:"phases"`
+	Costs      []CostSample     `json:"costs,omitempty"`
 }
 
 // WriteJSON writes the combined trace as one JSON document.
@@ -288,15 +336,17 @@ func (s *TraceSink) WriteJSON(w io.Writer) error {
 		NodeLoads:  s.Loads.PerRound,
 		NodeTotals: s.Loads.Totals,
 		Phases:     s.Phases.Entries,
+		Costs:      s.Costs,
 	})
 }
 
 // WriteCSV writes the combined trace as consecutive CSV tables separated
 // by blank lines, in the order: per-round trace, per-round max node load,
-// per-node totals, phase timeline.
+// per-node totals, phase timeline, cost ledger.
 func (s *TraceSink) WriteCSV(w io.Writer) error {
 	for i, tb := range []*harness.Table{
 		s.Rounds.Table(), s.Loads.Table(), s.Loads.TotalsTable(), s.Phases.Table(),
+		s.CostTable(),
 	} {
 		if i > 0 {
 			if _, err := io.WriteString(w, "\n"); err != nil {

@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -354,5 +355,70 @@ func TestLevelsRespectMinPartRule(t *testing.T) {
 	}
 	if size < maxInt(r.leafSize, 2*r.beta) {
 		t.Fatalf("expected leaf size %d below the floor", size)
+	}
+}
+
+func TestConstructionLedger(t *testing.T) {
+	h := testHierarchy(t)
+	led := h.Costs
+	if led == nil {
+		t.Fatal("Build left Costs nil")
+	}
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Differential: the ledger's root total is the legacy per-overlay sum,
+	// and ConstructionRoundsBase reads the ledger.
+	if got, want := led.Root.Total(), h.constructionRoundsFromOverlays(); got != want {
+		t.Fatalf("ledger total %d, per-overlay formula %d", got, want)
+	}
+	if h.ConstructionRoundsBase() != led.Root.Total() {
+		t.Fatal("ConstructionRoundsBase does not read the ledger")
+	}
+
+	// Children sum to the parent: g0 and level spans carry exactly the
+	// per-overlay construction costs, converted by their multipliers.
+	g0 := led.Root.Child("g0")
+	if g0 == nil {
+		t.Fatal("no g0 span")
+	}
+	if g0.Total() != h.G0.ConstructionRounds {
+		t.Fatalf("g0 span total %d, overlay %d", g0.Total(), h.G0.ConstructionRounds)
+	}
+	walks, replay := g0.Child("walks"), g0.Child("endpoint-replay")
+	if walks == nil || replay == nil {
+		t.Fatal("g0 span lacks walks/endpoint-replay children")
+	}
+	if walks.Total()+replay.Total() != g0.Total() {
+		t.Fatalf("g0 children %d+%d != %d", walks.Total(), replay.Total(), g0.Total())
+	}
+	sum := g0.Rolled()
+	for l := 1; l <= h.Levels; l++ {
+		sp := led.Root.Child(fmt.Sprintf("level-%d", l))
+		if sp == nil {
+			t.Fatalf("no level-%d span", l)
+		}
+		if sp.Total() != h.Upper[l-1].ConstructionRounds {
+			t.Fatalf("level-%d span total %d, overlay %d", l, sp.Total(), h.Upper[l-1].ConstructionRounds)
+		}
+		if want := h.Upper[l-1].ConstructionRounds * h.EmulationToBase(l-1); sp.Rolled() != want {
+			t.Fatalf("level-%d rolled %d, want %d", l, sp.Rolled(), want)
+		}
+		sum += sp.Rolled()
+	}
+	if sum != led.Root.Total() {
+		t.Fatalf("children sum %d != root total %d", sum, led.Root.Total())
+	}
+
+	// The emulation-factors span is informational: present, zero rolled.
+	info := led.Root.Child("emulation-factors")
+	if info == nil {
+		t.Fatal("no emulation-factors span")
+	}
+	if info.Rolled() != 0 {
+		t.Fatalf("informational span rolled %d, want 0", info.Rolled())
+	}
+	if got := info.Child("g0").Total(); got != h.G0.EmulationRounds {
+		t.Fatalf("emulation-factors/g0 %d, want %d", got, h.G0.EmulationRounds)
 	}
 }

@@ -94,7 +94,9 @@ func buildG0(g *graph.Graph, vm *VirtualMap, r resolved, tau int, rng *rand.Rand
 			m2, overlay.Graph.M())
 	}
 	reverse := randomwalk.ReverseDeliveryRounds(g, res.Walks, kept)
-	overlay.ConstructionRounds = res.Stats.Rounds + 2*reverse
+	overlay.walkRounds = res.Stats.Rounds
+	overlay.replayRounds = 2 * reverse
+	overlay.ConstructionRounds = overlay.walkRounds + overlay.replayRounds
 	overlay.measureEmulation()
 	return overlay, nil
 }

@@ -3,6 +3,7 @@ package embed
 import (
 	"fmt"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/graph"
 	"almostmix/internal/kwise"
 	"almostmix/internal/rngutil"
@@ -25,6 +26,12 @@ type Hierarchy struct {
 	Portals []*PortalTable // Portals[l-1] = portals at level l
 	// Resolved records the concrete parameter values used.
 	Resolved ResolvedParams
+	// Costs is the construction cost ledger: one span per overlay level
+	// (walk execution and endpoint replay as children, the level's
+	// emulation chain as the multiplier) plus an informational
+	// emulation-factors span. Its root total is the construction cost in
+	// base-graph rounds; ConstructionRoundsBase reads it.
+	Costs *cost.Ledger
 }
 
 // ResolvedParams is the public snapshot of the concrete values a Build
@@ -81,10 +88,13 @@ func Build(g *graph.Graph, p Params, src *rngutil.Source) (*Hierarchy, error) {
 		},
 	}
 
+	led := cost.New("construction", "base rounds")
+
 	h.G0, err = buildG0(g, vm, r, tau, src.Stream("g0", 0))
 	if err != nil {
 		return nil, err
 	}
+	chargeOverlay(led, h.G0, "g0", "base rounds", 1)
 
 	digits := computeDigits(vm, hash, r.beta, r.levels)
 	below := h.G0
@@ -99,9 +109,43 @@ func Build(g *graph.Graph, p Params, src *rngutil.Source) (*Hierarchy, error) {
 		}
 		h.Upper = append(h.Upper, overlay)
 		h.Portals = append(h.Portals, portals)
+		chargeOverlay(led, overlay,
+			fmt.Sprintf("level-%d", level),
+			fmt.Sprintf("G%d rounds", level-1),
+			h.EmulationToBase(level-1))
 		below = overlay
 	}
+
+	// Informational span (Mul 0): the per-level emulation factors, so
+	// trace exports carry the full round-conversion chain without the
+	// factors themselves being charged as construction work.
+	info := led.Open("emulation-factors", "rounds of level below", 0)
+	info.NewChild("g0", "base rounds per G0 round", 0).Add(h.G0.EmulationRounds)
+	for l := 1; l <= r.levels; l++ {
+		info.NewChild(fmt.Sprintf("level-%d", l),
+			fmt.Sprintf("G%d rounds per G%d round", l-1, l), 0).Add(h.Upper[l-1].EmulationRounds)
+	}
+	led.Close()
+
+	// Closing the root checks the ledger against the legacy per-overlay
+	// formula: the two must agree exactly.
+	led.CloseExpect(h.constructionRoundsFromOverlays())
+	if err := led.Err(); err != nil {
+		return nil, fmt.Errorf("embed: construction ledger: %w", err)
+	}
+	h.Costs = led
 	return h, nil
+}
+
+// chargeOverlay opens one ledger span for a freshly built overlay, with the
+// walk-execution and endpoint-replay components as children. mul converts
+// the overlay's construction rounds (measured in rounds of the level below)
+// into base-graph rounds.
+func chargeOverlay(led *cost.Ledger, o *Overlay, name, unit string, mul int) {
+	sp := led.Open(name, unit, mul)
+	sp.NewChild("walks", unit, 1).Add(o.walkRounds)
+	sp.NewChild("endpoint-replay", unit, 1).Add(o.replayRounds)
+	led.CloseExpect(o.ConstructionRounds)
 }
 
 // Overlay returns G_level (level 0 = G0).
@@ -133,8 +177,20 @@ func (h *Hierarchy) EmulationToBase(level int) int {
 }
 
 // ConstructionRoundsBase totals the measured construction cost of all
-// levels, expressed in base-graph rounds.
+// levels, expressed in base-graph rounds. The value is read from the
+// construction cost ledger; Build verified at close time that it matches
+// the per-overlay sum.
 func (h *Hierarchy) ConstructionRoundsBase() int {
+	if h.Costs != nil {
+		return h.Costs.Root.Total()
+	}
+	return h.constructionRoundsFromOverlays()
+}
+
+// constructionRoundsFromOverlays is the direct per-overlay sum, kept as the
+// ledger's cross-check (and the fallback for hierarchies assembled without
+// Build in tests).
+func (h *Hierarchy) constructionRoundsFromOverlays() int {
 	total := h.G0.ConstructionRounds
 	for l := 1; l <= h.Levels; l++ {
 		total += h.Upper[l-1].ConstructionRounds * h.EmulationToBase(l-1)

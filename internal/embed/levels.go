@@ -104,7 +104,9 @@ func buildLevel(level int, below *Overlay, digits []int32, r resolved, rng *rand
 		return nil, err
 	}
 	reverse := randomwalk.ReverseDeliveryRounds(below.Graph, res.Walks, kept)
-	overlay.ConstructionRounds = res.Stats.Rounds + reverse
+	overlay.walkRounds = res.Stats.Rounds
+	overlay.replayRounds = reverse
+	overlay.ConstructionRounds = overlay.walkRounds + overlay.replayRounds
 	overlay.measureEmulation()
 	return overlay, nil
 }

@@ -38,6 +38,10 @@ type Overlay struct {
 	// round of this overlay (one message each way on every overlay
 	// edge), in rounds of the level below.
 	EmulationRounds int
+	// walkRounds and replayRounds split ConstructionRounds into the
+	// walk-execution and endpoint-replay components, recorded for the
+	// construction cost ledger's child spans.
+	walkRounds, replayRounds int
 }
 
 // measureEmulation schedules one packet per direction over every overlay

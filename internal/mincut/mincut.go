@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/graph"
 	"almostmix/internal/mst"
 )
@@ -69,6 +70,30 @@ func Approx(g *graph.Graph, trees int, rng *rand.Rand) (*ApproxResult, error) {
 		}
 	}
 	return best, nil
+}
+
+// PackingCharge builds the distributed round charge of a packing run: each
+// of the TreesUsed packed trees costs one hierarchical MST (the
+// construction is shared and excluded, as per the package comment on
+// subtree aggregation riding the same channel). perTree is a measured MST
+// run on the same hierarchy; its algorithm span is grafted under a
+// tree-packing span whose multiplier repeats it per tree. Returns the
+// ledger and its root total in base rounds.
+func PackingCharge(res *ApproxResult, perTree *mst.Result) (*cost.Ledger, int) {
+	led := cost.New("mincut-packing", "base rounds")
+	led.Open("tree-packing", "base rounds per tree", res.TreesUsed)
+	if perTree.Costs != nil {
+		if alg := perTree.Costs.Root.Child("algorithm"); alg != nil {
+			led.Attach(alg)
+		} else {
+			led.Charge(perTree.AlgorithmRounds)
+		}
+	} else {
+		led.Charge(perTree.AlgorithmRounds)
+	}
+	led.CloseExpect(perTree.AlgorithmRounds)
+	total := led.CloseExpect(res.TreesUsed * perTree.AlgorithmRounds)
+	return led, total
 }
 
 // best1Respecting returns the lightest cut obtained by removing a single

@@ -4,7 +4,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/graph"
+	"almostmix/internal/mst"
 	"almostmix/internal/rngutil"
 )
 
@@ -143,5 +145,50 @@ func TestBest1RespectingOnPath(t *testing.T) {
 	}
 	if g.CutSize(side) != 1 {
 		t.Fatal("side does not certify the cut")
+	}
+}
+
+func TestPackingCharge(t *testing.T) {
+	// Fabricate an MST result whose ledger carries a 37-round algorithm span.
+	led := cost.New("mst", "base rounds")
+	led.Open("algorithm", "base rounds", 1)
+	led.Charge(37)
+	led.Close()
+	led.Close()
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	per := &mst.Result{AlgorithmRounds: 37, Costs: led}
+	res := &ApproxResult{TreesUsed: 5}
+
+	pl, total := PackingCharge(res, per)
+	if err := pl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5*37 {
+		t.Fatalf("charged %d, want %d", total, 5*37)
+	}
+	if pl.Root.Total() != total {
+		t.Fatalf("ledger root %d != returned total %d", pl.Root.Total(), total)
+	}
+	sp := pl.Root.Child("tree-packing")
+	if sp == nil {
+		t.Fatal("no tree-packing span")
+	}
+	if sp.Mul != 5 || sp.Total() != 37 {
+		t.Fatalf("tree-packing span mul=%d total=%d, want 5 and 37", sp.Mul, sp.Total())
+	}
+	// The grafted subtree is the MST ledger's algorithm span.
+	if len(sp.Children) != 1 || sp.Children[0] != led.Root.Child("algorithm") {
+		t.Fatal("tree-packing span does not graft the MST algorithm span")
+	}
+
+	// Fallback: no ledger on the MST result still charges correctly.
+	pl2, total2 := PackingCharge(&ApproxResult{TreesUsed: 3}, &mst.Result{AlgorithmRounds: 11})
+	if err := pl2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if total2 != 33 || pl2.Root.Total() != 33 {
+		t.Fatalf("fallback charged %d (root %d), want 33", total2, pl2.Root.Total())
 	}
 }

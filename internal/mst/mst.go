@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/rngutil"
@@ -54,6 +55,12 @@ type Result struct {
 	MaxTreeDepth int
 	// MaxInDegRatio is the largest observed inDeg(v)/d_G(v).
 	MaxInDegRatio float64
+	// Costs is the run's cost ledger: the hierarchy's construction
+	// ledger grafted next to an algorithm span holding one span per
+	// Borůvka iteration (fragment exchange plus the measured tree step
+	// multiplied by upcast/downcast/balancing repetitions). Rounds and
+	// AlgorithmRounds are read off it.
+	Costs *cost.Ledger
 }
 
 // Run computes the MST of h's weighted base graph using the hierarchical
@@ -71,10 +78,28 @@ func Run(h *embed.Hierarchy, src *rngutil.Source) (*Result, error) {
 	coinRng := src.Stream("coins", 0)
 	maxIter := 30 * (log2int(n) + 1)
 
+	// The MST ledger reuses the hierarchy's construction ledger as a
+	// grafted child (the structure is built once and amortized), next to
+	// an algorithm span the iterations charge into.
+	led := cost.New("mst", "base rounds")
+	if h.Costs != nil {
+		led.Attach(h.Costs.Root)
+	} else {
+		led.Open("construction", "base rounds", 1)
+		led.Charge(h.ConstructionRoundsBase())
+		led.Close()
+	}
+	led.Open("algorithm", "base rounds", 1)
+
 	for iter := 0; iter < maxIter; iter++ {
 		frags := forest.NumFragments()
 		if frags == 1 {
-			res.Rounds = res.AlgorithmRounds + h.ConstructionRoundsBase()
+			led.CloseExpect(res.AlgorithmRounds) // algorithm span
+			res.Rounds = led.Close()             // root: construction + algorithm
+			if err := led.Err(); err != nil {
+				return nil, fmt.Errorf("mst: cost ledger: %w", err)
+			}
+			res.Costs = led
 			res.Weight = g.TotalWeight(res.Edges)
 			return res, nil
 		}
@@ -88,9 +113,13 @@ func Run(h *embed.Hierarchy, src *rngutil.Source) (*Result, error) {
 
 		// Measure the cost of one tree-routing step: every non-root
 		// sends one message to its virtual parent.
-		stepRounds, err := measureTreeStep(h, forest, src.Child("step", uint64(iter)))
+		stepRep, err := measureTreeStep(h, forest, src.Child("step", uint64(iter)))
 		if err != nil {
 			return nil, fmt.Errorf("mst: iteration %d: %w", iter, err)
+		}
+		stepRounds := 0
+		if stepRep != nil {
+			stepRounds = stepRep.BaseRounds
 		}
 		stats.StepRounds = stepRounds
 
@@ -156,8 +185,22 @@ func Run(h *embed.Hierarchy, src *rngutil.Source) (*Result, error) {
 		}
 
 		// Charge: fragment exchange + (up + down + balancing) steps.
+		// The tree-steps span grafts the measured routing instance's own
+		// ledger; its multiplier repeats it once per upcast/downcast
+		// level and balancing wave. Closing checks the span tree against
+		// the direct formula, and the iteration total becomes
+		// stats.Rounds.
 		stats.UpcastSteps = 2 * (stats.TreeDepth + 1)
-		stats.Rounds = 1 + (stats.UpcastSteps+waves)*stepRounds
+		led.Open(fmt.Sprintf("iteration-%02d", iter), "base rounds", 1)
+		led.Open("fragment-exchange", "base rounds", 1)
+		led.Charge(1)
+		led.Close()
+		led.Open("tree-steps", "base rounds per step", stats.UpcastSteps+waves)
+		if stepRep != nil {
+			led.Attach(stepRep.Costs.Root)
+		}
+		led.CloseExpect(stepRounds)
+		stats.Rounds = led.CloseExpect(1 + (stats.UpcastSteps+waves)*stepRounds)
 		res.AlgorithmRounds += stats.Rounds
 		res.Iterations = append(res.Iterations, stats)
 	}
@@ -199,10 +242,11 @@ func computeMWOE(g *graph.Graph, f *Forest) map[int32]mwoeEdge {
 }
 
 // measureTreeStep routes one message from every non-root node to its
-// virtual-tree parent and returns the measured base-round cost. This is
-// the per-level cost of the upcast/downcast (and of the balancing token
-// waves, which use the same channel).
-func measureTreeStep(h *embed.Hierarchy, f *Forest, src *rngutil.Source) (int, error) {
+// virtual-tree parent and returns the routing report (nil when every node
+// is a fragment root and there is nothing to send). This is the per-level
+// cost of the upcast/downcast (and of the balancing token waves, which use
+// the same channel).
+func measureTreeStep(h *embed.Hierarchy, f *Forest, src *rngutil.Source) (*route.Report, error) {
 	g := h.Base
 	reqs := make([]route.Request, 0, g.N())
 	childRank := make(map[int32]int)
@@ -216,13 +260,9 @@ func measureTreeStep(h *embed.Hierarchy, f *Forest, src *rngutil.Source) (int, e
 		reqs = append(reqs, route.Request{SrcNode: int(v), DstNode: int(p), DstIndex: idx})
 	}
 	if len(reqs) == 0 {
-		return 0, nil
+		return nil, nil
 	}
-	rep, err := route.Route(h, reqs, src)
-	if err != nil {
-		return 0, err
-	}
-	return rep.BaseRounds, nil
+	return route.Route(h, reqs, src)
 }
 
 func maxDepth(depths []int32) int {

@@ -1,6 +1,7 @@
 package mst
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"testing"
@@ -276,4 +277,74 @@ func TestComputeMWOE(t *testing.T) {
 		t.Fatalf("fragment 2 MWOE = %+v", got)
 	}
 	_ = heavy
+}
+
+func TestMSTLedgerDerivesRounds(t *testing.T) {
+	f := testFixture(t)
+	res, err := Run(f.h, rngutil.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := res.Costs
+	if led == nil {
+		t.Fatal("Run left Costs nil")
+	}
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	con, alg := led.Root.Child("construction"), led.Root.Child("algorithm")
+	if con == nil || alg == nil {
+		t.Fatal("ledger lacks construction/algorithm spans")
+	}
+	// Children sum to the parent, and the public figures read off the
+	// ledger; the construction child is the hierarchy's own ledger.
+	if led.Root.Total() != con.Rolled()+alg.Rolled() {
+		t.Fatalf("root %d != construction %d + algorithm %d",
+			led.Root.Total(), con.Rolled(), alg.Rolled())
+	}
+	if res.Rounds != led.Root.Total() {
+		t.Fatalf("Rounds %d != root total %d", res.Rounds, led.Root.Total())
+	}
+	if res.AlgorithmRounds != alg.Total() {
+		t.Fatalf("AlgorithmRounds %d != algorithm span %d", res.AlgorithmRounds, alg.Total())
+	}
+	if con.Total() != f.h.ConstructionRoundsBase() {
+		t.Fatalf("construction span %d != hierarchy %d", con.Total(), f.h.ConstructionRoundsBase())
+	}
+	if f.h.Costs != nil && con != f.h.Costs.Root {
+		t.Fatal("construction span is not the hierarchy's own ledger root")
+	}
+	// Differential: the seed code's accounting still holds.
+	if res.Rounds != res.AlgorithmRounds+f.h.ConstructionRoundsBase() {
+		t.Fatal("Rounds formula violated")
+	}
+
+	// Per-iteration spans: fragment exchange + repeated tree steps.
+	sum := 0
+	for i, it := range res.Iterations {
+		sp := alg.Child(fmt.Sprintf("iteration-%02d", i))
+		if sp == nil {
+			t.Fatalf("no iteration-%02d span", i)
+		}
+		if sp.Total() != it.Rounds {
+			t.Fatalf("iteration %d span %d != stats %d", i, sp.Total(), it.Rounds)
+		}
+		fe, ts := sp.Child("fragment-exchange"), sp.Child("tree-steps")
+		if fe == nil || ts == nil {
+			t.Fatalf("iteration %d lacks fragment-exchange/tree-steps", i)
+		}
+		if fe.Rolled()+ts.Rolled() != sp.Total() {
+			t.Fatalf("iteration %d children %d+%d != %d", i, fe.Rolled(), ts.Rolled(), sp.Total())
+		}
+		if ts.Total() != it.StepRounds {
+			t.Fatalf("iteration %d tree-step span %d != measured step %d", i, ts.Total(), it.StepRounds)
+		}
+		if it.Rounds != 1+(it.UpcastSteps+it.BalanceWaves)*it.StepRounds {
+			t.Fatalf("iteration %d Rounds formula violated", i)
+		}
+		sum += sp.Total()
+	}
+	if sum != res.AlgorithmRounds {
+		t.Fatalf("iteration spans sum %d != AlgorithmRounds %d", sum, res.AlgorithmRounds)
+	}
 }

@@ -13,6 +13,8 @@ package pathsched
 import (
 	"fmt"
 	"slices"
+
+	"almostmix/internal/cost"
 )
 
 // Result summarizes one scheduling run.
@@ -107,6 +109,17 @@ func Schedule(paths [][]int32) Result {
 		}
 	}
 	res.Makespan = round
+	return res
+}
+
+// ScheduleInto schedules like Schedule and charges the measured makespan
+// to sp, in sp's own unit — the caller chooses the span whose multiplier
+// converts schedule rounds into its parent's currency (a leaf-movement
+// span converting G_k rounds to G0 rounds, a baseline span charging base
+// rounds directly, …). A nil span only schedules.
+func ScheduleInto(paths [][]int32, sp *cost.Span) Result {
+	res := Schedule(paths)
+	sp.Add(res.Makespan)
 	return res
 }
 

@@ -1,8 +1,11 @@
 package pathsched
 
 import (
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"almostmix/internal/cost"
 
 	"almostmix/internal/graph"
 	"almostmix/internal/randomwalk"
@@ -136,5 +139,87 @@ func TestValidate(t *testing.T) {
 	bad := [][]int32{{0, 3}}
 	if err := Validate(bad, adjacent); err == nil {
 		t.Fatal("invalid path accepted")
+	}
+}
+
+// genPaths builds a reproducible random path set: nPaths walks of varying
+// length over an arbitrary node-ID space, with occasional lazy steps. The
+// scheduler never consults a graph, so arbitrary ID sequences are valid
+// inputs.
+func genPaths(rng *rand.Rand, nNodes, nPaths, maxLen int) [][]int32 {
+	paths := make([][]int32, nPaths)
+	for i := range paths {
+		hops := 1 + rng.IntN(maxLen)
+		p := make([]int32, 0, hops+1)
+		p = append(p, int32(rng.IntN(nNodes)))
+		for len(p) <= hops {
+			if rng.IntN(4) == 0 {
+				p = append(p, p[len(p)-1]) // lazy step
+			} else {
+				p = append(p, int32(rng.IntN(nNodes)))
+			}
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+func TestPropertyGeneratedPathSets(t *testing.T) {
+	rng := rngutil.NewRand(99)
+	for trial := 0; trial < 60; trial++ {
+		nNodes := 2 + rng.IntN(40)
+		paths := genPaths(rng, nNodes, rng.IntN(50), 12)
+		res := Schedule(paths)
+		if res.Delivered != len(paths) {
+			t.Fatalf("trial %d: delivered %d of %d", trial, res.Delivered, len(paths))
+		}
+		lower := res.Congestion
+		if res.Dilation > lower {
+			lower = res.Dilation
+		}
+		if res.Makespan < lower {
+			t.Fatalf("trial %d: makespan %d below max(congestion %d, dilation %d)",
+				trial, res.Makespan, res.Congestion, res.Dilation)
+		}
+	}
+}
+
+func TestPropertyScheduleDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := rngutil.NewRand(seed)
+		paths := genPaths(rng, 2+rng.IntN(30), 1+rng.IntN(40), 10)
+		first := Schedule(paths)
+		for rep := 0; rep < 3; rep++ {
+			if again := Schedule(paths); again != first {
+				t.Fatalf("seed %d: run %d returned %+v, first run %+v", seed, rep, again, first)
+			}
+		}
+	}
+}
+
+func TestScheduleIntoChargesMakespan(t *testing.T) {
+	paths := [][]int32{{0, 1, 2}, {3, 1, 2}, {4, 1, 2}}
+	plain := Schedule(paths)
+
+	led := cost.New("root", "rounds")
+	sp := led.Open("leaf", "G2 rounds", 3)
+	res := ScheduleInto(paths, sp)
+	if res != plain {
+		t.Fatalf("ScheduleInto result %+v differs from Schedule %+v", res, plain)
+	}
+	if sp.Total() != res.Makespan {
+		t.Fatalf("span charged %d, makespan %d", sp.Total(), res.Makespan)
+	}
+	led.Close()
+	if got := led.Close(); got != 3*res.Makespan {
+		t.Fatalf("root total %d, want makespan×mul %d", got, 3*res.Makespan)
+	}
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A nil span only schedules.
+	if res := ScheduleInto(paths, nil); res != plain {
+		t.Fatalf("nil-span ScheduleInto result %+v differs from Schedule %+v", res, plain)
 	}
 }

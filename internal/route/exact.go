@@ -43,23 +43,11 @@ type traversal struct {
 // RouteExact routes reqs like Route while recording every overlay-edge
 // traversal, then expands and schedules the real packet paths.
 func RouteExact(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*ExactReport, error) {
-	r := &router{
-		h:   h,
-		cur: make([]int32, len(reqs)),
-		dst: make([]int32, len(reqs)),
-		rng: src.Stream("route", 0),
-		report: &Report{
-			HopG0Rounds: make([]int, h.Levels),
-		},
-		trace: make([][]traversal, len(reqs)),
+	r, err := newRouter(h, reqs, src)
+	if err != nil {
+		return nil, err
 	}
-	for i, req := range reqs {
-		if req.DstIndex < 0 || req.DstIndex >= h.VM.DegreeOf(req.DstNode) {
-			return nil, fmt.Errorf("route: request %d: node %d has no virtual index %d",
-				i, req.DstNode, req.DstIndex)
-		}
-		r.dst[i] = h.VM.VID(req.DstNode, req.DstIndex)
-	}
+	r.trace = make([][]traversal, len(reqs))
 
 	// Preparation with recorded walk paths, so the physical prefix of
 	// each packet's journey is part of the exact schedule.
@@ -76,24 +64,15 @@ func RouteExact(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*Exact
 		end := int(prep.Ends[i])
 		r.cur[i] = h.VM.VID(end, r.rng.IntN(h.VM.DegreeOf(end)))
 	}
-	r.report.PrepRounds = prep.Stats.Rounds
+	r.chargePrep(prep.Stats.Rounds)
 	r.leafAdj = newPartBFS(h.Overlay(h.Levels))
 
-	pkts := make([]int, len(reqs))
-	for i := range pkts {
-		pkts[i] = i
-	}
-	cost, err := r.route(0, pkts, r.dst)
+	g0Cost, err := r.runRecursion()
 	if err != nil {
 		return nil, err
 	}
-	r.report.G0Rounds = cost
-	r.report.BaseRounds = r.report.PrepRounds + cost*h.G0.EmulationRounds
-	r.report.Delivered = len(reqs)
-	for i := range reqs {
-		if r.cur[i] != r.dst[i] {
-			return nil, fmt.Errorf("route: packet %d stranded at vid %d, wanted %d", i, r.cur[i], r.dst[i])
-		}
+	if err := r.finish(g0Cost, len(reqs)); err != nil {
+		return nil, err
 	}
 
 	// Expand every packet's journey to a base-graph walk.

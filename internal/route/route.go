@@ -20,6 +20,7 @@ import (
 	"math/rand/v2"
 
 	"almostmix/internal/congest"
+	"almostmix/internal/cost"
 	"almostmix/internal/embed"
 	"almostmix/internal/pathsched"
 	"almostmix/internal/randomwalk"
@@ -63,6 +64,12 @@ type Report struct {
 	// MaxPortalLoad is the maximum number of packets hopping over a
 	// single portal edge in one phase.
 	MaxPortalLoad int
+	// Costs is the run's cost ledger. The numeric fields above are all
+	// derived from it: PrepRounds and BaseRounds from the prep span and
+	// the root, G0Rounds from the recursion span, HopG0Rounds and
+	// LeafG0Rounds from its per-level portal-hop and leaf-movement
+	// children.
+	Costs *cost.Ledger
 }
 
 // router carries the mutable state of one routing run.
@@ -82,6 +89,13 @@ type router struct {
 	// at the cumulative G0-round cost they were incurred at (g0Done).
 	probe  congest.Probe
 	g0Done int
+	// led is the run's cost ledger; recSpan is its open recursion span,
+	// hopSpans[l] and leafSpan the children that portal hops at level
+	// l+1 and leaf schedules charge into.
+	led      *cost.Ledger
+	recSpan  *cost.Span
+	hopSpans []*cost.Span
+	leafSpan *cost.Span
 }
 
 // mark emits a phase marker at the current cumulative G0 cost.
@@ -104,23 +118,11 @@ func Route(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*Report, er
 // G0-round cost each leaf batch or portal hop was incurred at. A nil
 // probe is identical to Route.
 func RouteTraced(h *embed.Hierarchy, reqs []Request, src *rngutil.Source, probe congest.Probe) (*Report, error) {
-	r := &router{
-		h:     h,
-		cur:   make([]int32, len(reqs)),
-		dst:   make([]int32, len(reqs)),
-		rng:   src.Stream("route", 0),
-		probe: probe,
-		report: &Report{
-			HopG0Rounds: make([]int, h.Levels),
-		},
+	r, err := newRouter(h, reqs, src)
+	if err != nil {
+		return nil, err
 	}
-	for i, req := range reqs {
-		if req.DstIndex < 0 || req.DstIndex >= h.VM.DegreeOf(req.DstNode) {
-			return nil, fmt.Errorf("route: request %d: node %d has no virtual index %d",
-				i, req.DstNode, req.DstIndex)
-		}
-		r.dst[i] = h.VM.VID(req.DstNode, req.DstIndex)
-	}
+	r.probe = probe
 
 	r.prepare(reqs, src)
 	r.leafAdj = newPartBFS(h.Overlay(h.Levels))
@@ -134,26 +136,101 @@ func RouteTraced(h *embed.Hierarchy, reqs []Request, src *rngutil.Source, probe 
 			Edges:   h.Base.M(),
 		})
 	}
-	pkts := make([]int, len(reqs))
-	for i := range pkts {
-		pkts[i] = i
-	}
-	cost, err := r.route(0, pkts, r.dst)
+	g0Cost, err := r.runRecursion()
 	if err != nil {
 		return nil, err
 	}
 	if r.probe != nil {
-		r.probe.RunEnd(cost, nil)
+		r.probe.RunEnd(g0Cost, nil)
 	}
-	r.report.G0Rounds = cost
-	r.report.BaseRounds = r.report.PrepRounds + cost*h.G0.EmulationRounds
-	for i := range reqs {
+	if err := r.finish(g0Cost, len(reqs)); err != nil {
+		return nil, err
+	}
+	return r.report, nil
+}
+
+// newRouter builds the shared run state of Route/RouteExact: packet
+// positions, destination lookups, and a fresh cost ledger rooted at a
+// base-round "route" span.
+func newRouter(h *embed.Hierarchy, reqs []Request, src *rngutil.Source) (*router, error) {
+	led := cost.New("route", "base rounds")
+	r := &router{
+		h:   h,
+		cur: make([]int32, len(reqs)),
+		dst: make([]int32, len(reqs)),
+		rng: src.Stream("route", 0),
+		led: led,
+		report: &Report{
+			HopG0Rounds: make([]int, h.Levels),
+			Costs:       led,
+		},
+	}
+	for i, req := range reqs {
+		if req.DstIndex < 0 || req.DstIndex >= h.VM.DegreeOf(req.DstNode) {
+			return nil, fmt.Errorf("route: request %d: node %d has no virtual index %d",
+				i, req.DstNode, req.DstIndex)
+		}
+		r.dst[i] = h.VM.VID(req.DstNode, req.DstIndex)
+	}
+	return r, nil
+}
+
+// chargePrep records the preparation walks as the ledger's prep span.
+func (r *router) chargePrep(rounds int) {
+	sp := r.led.Open("prep", "base rounds", 1)
+	r.led.Charge(rounds)
+	r.led.Close()
+	r.report.PrepRounds = sp.Total()
+}
+
+// runRecursion opens the recursion span (G0 rounds, multiplied into base
+// rounds by the G0 emulation factor) with one portal-hop child per level
+// and a leaf-movement child, then routes all packets from level 0. The
+// span is closed against the recursion's returned G0 cost, making
+// "children sum to the return value" a checked identity.
+func (r *router) runRecursion() (int, error) {
+	r.recSpan = r.led.Open("recursion", "G0 rounds", r.h.G0.EmulationRounds)
+	r.hopSpans = make([]*cost.Span, r.h.Levels)
+	for l := 0; l < r.h.Levels; l++ {
+		r.hopSpans[l] = r.recSpan.NewChild(
+			fmt.Sprintf("portal-hops-level-%d", l+1),
+			fmt.Sprintf("G%d rounds", l), r.h.EmulationToG0(l))
+	}
+	r.leafSpan = r.recSpan.NewChild("leaf-movement",
+		fmt.Sprintf("G%d rounds", r.h.Levels), r.h.EmulationToG0(r.h.Levels))
+
+	pkts := make([]int, len(r.cur))
+	for i := range pkts {
+		pkts[i] = i
+	}
+	g0Cost, err := r.route(0, pkts, r.dst)
+	if err != nil {
+		return 0, err
+	}
+	r.led.CloseExpect(g0Cost)
+	return g0Cost, nil
+}
+
+// finish verifies delivery and derives every Report figure from the
+// ledger: per-level hop and leaf costs from their spans, G0Rounds from the
+// recursion span, BaseRounds from the closed root.
+func (r *router) finish(g0Cost int, delivered int) error {
+	r.report.G0Rounds = g0Cost
+	for l, sp := range r.hopSpans {
+		r.report.HopG0Rounds[l] = sp.Rolled()
+	}
+	r.report.LeafG0Rounds = r.leafSpan.Rolled()
+	r.report.BaseRounds = r.led.Close()
+	if err := r.led.Err(); err != nil {
+		return fmt.Errorf("route: cost ledger: %w", err)
+	}
+	for i := range r.cur {
 		if r.cur[i] != r.dst[i] {
-			return nil, fmt.Errorf("route: packet %d stranded at vid %d, wanted %d", i, r.cur[i], r.dst[i])
+			return fmt.Errorf("route: packet %d stranded at vid %d, wanted %d", i, r.cur[i], r.dst[i])
 		}
 	}
-	r.report.Delivered = len(reqs)
-	return r.report, nil
+	r.report.Delivered = delivered
+	return nil
 }
 
 // prepare runs the §3.2 preparation step: one lazy walk of mixing-time
@@ -174,7 +251,7 @@ func (r *router) prepare(reqs []Request, src *rngutil.Source) {
 		end := int(res.Ends[i])
 		r.cur[i] = r.h.VM.VID(end, r.rng.IntN(r.h.VM.DegreeOf(end)))
 	}
-	r.report.PrepRounds = res.Stats.Rounds
+	r.chargePrep(res.Stats.Rounds)
 }
 
 // route recursively delivers packets pkts to targets, all of which lie in
@@ -249,8 +326,10 @@ func (r *router) route(level int, pkts []int, targets []int32) (int, error) {
 	if maxLoad > r.report.MaxPortalLoad {
 		r.report.MaxPortalLoad = maxLoad
 	}
+	// The hop happens between level-(level+1) parts over G_level edges:
+	// maxLoad G_level rounds, converted by the span's multiplier.
+	r.hopSpans[level].Add(maxLoad)
 	hopG0 := maxLoad * r.h.EmulationToG0(level)
-	r.report.HopG0Rounds[level] += hopG0 // hop happens between level-(level+1) parts over G_level edges
 	cost += hopG0
 	r.g0Done += hopG0
 	if r.probe != nil {
@@ -296,10 +375,9 @@ func (r *router) routeLeaf(pkts []int, targets []int32) (int, error) {
 	if len(paths) == 0 {
 		return 0, nil
 	}
-	res := pathsched.Schedule(paths)
+	res := pathsched.ScheduleInto(paths, r.leafSpan)
 	r.report.LeafSchedules++
 	leafG0 := res.Makespan * r.h.EmulationToG0(r.h.Levels)
-	r.report.LeafG0Rounds += leafG0
 	r.g0Done += leafG0
 	r.mark("leaf movement")
 	return leafG0, nil

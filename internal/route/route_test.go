@@ -1,6 +1,7 @@
 package route
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -313,5 +314,100 @@ func TestRouteExactMatchesRouteSemantics(t *testing.T) {
 	}
 	if ex.Paper.G0Rounds != plain.G0Rounds || ex.Paper.Delivered != plain.Delivered {
 		t.Fatalf("paper-side reports differ: %+v vs %+v", ex.Paper, plain)
+	}
+}
+
+func TestRouteLedgerDerivesReport(t *testing.T) {
+	h := testHierarchy(t)
+	reqs := RandomPermutation(h.Base, rngutil.NewRand(14))
+	rep, err := Route(h, reqs, rngutil.NewSource(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := rep.Costs
+	if led == nil {
+		t.Fatal("Route left Costs nil")
+	}
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	prep, rec := led.Root.Child("prep"), led.Root.Child("recursion")
+	if prep == nil || rec == nil {
+		t.Fatal("ledger lacks prep/recursion spans")
+	}
+	// Children sum to the parent.
+	if led.Root.Total() != prep.Rolled()+rec.Rolled() {
+		t.Fatalf("root %d != prep %d + recursion %d", led.Root.Total(), prep.Rolled(), rec.Rolled())
+	}
+	// Every report figure is the corresponding span's value.
+	if rep.PrepRounds != prep.Total() {
+		t.Fatalf("PrepRounds %d != prep span %d", rep.PrepRounds, prep.Total())
+	}
+	if rep.G0Rounds != rec.Total() {
+		t.Fatalf("G0Rounds %d != recursion span %d", rep.G0Rounds, rec.Total())
+	}
+	if rep.BaseRounds != led.Root.Total() {
+		t.Fatalf("BaseRounds %d != root total %d", rep.BaseRounds, led.Root.Total())
+	}
+	leaf := rec.Child("leaf-movement")
+	if leaf == nil || leaf.Rolled() != rep.LeafG0Rounds {
+		t.Fatalf("leaf-movement span does not carry LeafG0Rounds %d", rep.LeafG0Rounds)
+	}
+	recSum := leaf.Rolled()
+	for l, v := range rep.HopG0Rounds {
+		sp := rec.Child(fmt.Sprintf("portal-hops-level-%d", l+1))
+		if sp == nil || sp.Rolled() != v {
+			t.Fatalf("portal-hops-level-%d span does not carry %d", l+1, v)
+		}
+		recSum += sp.Rolled()
+	}
+	if recSum != rec.Total() {
+		t.Fatalf("recursion children sum %d != span total %d", recSum, rec.Total())
+	}
+	// Differential: the seed code's closed-form accounting still holds.
+	if rep.BaseRounds != rep.PrepRounds+rep.G0Rounds*h.G0.EmulationRounds {
+		t.Fatal("BaseRounds formula violated")
+	}
+}
+
+func TestRouteExactSharesLedgerAccounting(t *testing.T) {
+	h := testHierarchy(t)
+	reqs := RandomPermutation(h.Base, rngutil.NewRand(24))
+	ex, err := RouteExact(h, reqs, rngutil.NewSource(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ex.Paper
+	if rep.Costs == nil || rep.Costs.Err() != nil {
+		t.Fatalf("exact route ledger missing or violated: %v", rep.Costs.Err())
+	}
+	if rep.BaseRounds != rep.Costs.Root.Total() {
+		t.Fatalf("BaseRounds %d != ledger root %d", rep.BaseRounds, rep.Costs.Root.Total())
+	}
+}
+
+func TestRoutePhasedLedger(t *testing.T) {
+	h := testHierarchy(t)
+	reqs := DegreeDemand(h.Base, rngutil.NewRand(16))
+	rep, err := RoutePhased(h, reqs, 3, rngutil.NewSource(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := rep.Costs
+	if led == nil {
+		t.Fatal("RoutePhased left Costs nil")
+	}
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaseRounds != led.Root.Total() {
+		t.Fatalf("BaseRounds %d != ledger root %d", rep.BaseRounds, led.Root.Total())
+	}
+	sum := 0
+	for _, ph := range led.Root.Children {
+		sum += ph.Rolled()
+	}
+	if sum != led.Root.Total() {
+		t.Fatalf("phase spans sum %d != root %d", sum, led.Root.Total())
 	}
 }

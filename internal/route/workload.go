@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"almostmix/internal/cost"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/rngutil"
@@ -64,7 +65,8 @@ func RoutePhased(h *embed.Hierarchy, reqs []Request, phases int, src *rngutil.So
 		b := rng.IntN(phases)
 		buckets[b] = append(buckets[b], req)
 	}
-	total := &Report{HopG0Rounds: make([]int, h.Levels)}
+	led := cost.New("route-phased", "base rounds")
+	total := &Report{HopG0Rounds: make([]int, h.Levels), Costs: led}
 	for b, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
@@ -73,10 +75,14 @@ func RoutePhased(h *embed.Hierarchy, reqs []Request, phases int, src *rngutil.So
 		if err != nil {
 			return nil, fmt.Errorf("route: phase %d: %w", b, err)
 		}
+		// Graft the phase's own ledger under a per-phase span, checked
+		// against the phase report's base-round total.
+		led.Open(fmt.Sprintf("phase-%d", b), "base rounds", 1)
+		led.Attach(rep.Costs.Root)
+		led.CloseExpect(rep.BaseRounds)
 		total.Delivered += rep.Delivered
 		total.PrepRounds += rep.PrepRounds
 		total.G0Rounds += rep.G0Rounds
-		total.BaseRounds += rep.BaseRounds
 		total.LeafG0Rounds += rep.LeafG0Rounds
 		total.LeafSchedules += rep.LeafSchedules
 		for l := range rep.HopG0Rounds {
@@ -85,6 +91,10 @@ func RoutePhased(h *embed.Hierarchy, reqs []Request, phases int, src *rngutil.So
 		if rep.MaxPortalLoad > total.MaxPortalLoad {
 			total.MaxPortalLoad = rep.MaxPortalLoad
 		}
+	}
+	total.BaseRounds = led.Close()
+	if err := led.Err(); err != nil {
+		return nil, fmt.Errorf("route: phased cost ledger: %w", err)
 	}
 	return total, nil
 }

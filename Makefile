@@ -4,8 +4,14 @@
 # flag (make race SHORT=) for the exhaustive version.
 
 SHORT ?= -short
+# Per-benchmark budget for `make bench` (any go-test -benchtime value:
+# durations like 2s or fixed counts like 100x).
+BENCHTIME ?= 1s
+# Flags for `make bench-json`; default to CI scale. Drop -quick for the
+# full-size suite (BENCHSUITE_FLAGS="" make bench-json).
+BENCHSUITE_FLAGS ?= -quick
 
-.PHONY: build vet test race check bench fuzz smoke
+.PHONY: build vet test race check bench bench-json fuzz smoke
 
 build:
 	go build ./...
@@ -27,9 +33,14 @@ smoke:
 	sh scripts/smoke.sh
 
 bench:
-	go test -run xxx -bench . -benchmem ./...
+	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./...
+
+# Standard benchmark set with warmup/repetition control, written as a
+# schema-versioned BENCH_<git-sha>.json for the perf trajectory.
+bench-json:
+	go run ./cmd/benchsuite $(BENCHSUITE_FLAGS)
 
 # Continuous fuzzing of the simulator's round engines (30s; the committed
 # f.Add corpus always runs as part of `make test`).
 fuzz:
-	go test -run xxx -fuzz FuzzNetworkRun -fuzztime 30s ./internal/congest
+	go test -run '^$$' -fuzz FuzzNetworkRun -fuzztime 30s ./internal/congest

@@ -8,6 +8,7 @@ import (
 	"almostmix/internal/cost"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
 	"almostmix/internal/mincut"
 	"almostmix/internal/mst"
 	"almostmix/internal/mstbase"
@@ -50,6 +51,14 @@ type (
 	CostSpan = cost.Span
 	// CostRow is one flattened ledger row, as exported by -trace.
 	CostRow = cost.Row
+	// MetricsRegistry is the host-side metrics registry behind -metrics:
+	// counters, gauges and histograms measuring wall-clock behavior, kept
+	// strictly apart from the simulated-round ledgers so traces stay
+	// byte-deterministic.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time export of a MetricsRegistry,
+	// writable as JSON or CSV.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Walk kinds (Definition 2.1 and 2.2).
@@ -60,6 +69,11 @@ const (
 
 // DefaultParams returns the default hierarchy parameters.
 func DefaultParams() Params { return embed.DefaultParams() }
+
+// NewMetricsRegistry returns an empty host-metrics registry. Attach it to
+// a simulator run (congest.Network.SetMetrics via the internal API, or
+// the -metrics flag of the cmd binaries) and export with Snapshot.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
 // NewRand returns a deterministic random generator for the given seed,
 // usable with the graph constructors and weight assignment.

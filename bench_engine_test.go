@@ -16,6 +16,7 @@ import (
 
 	"almostmix/internal/congest"
 	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
 	"almostmix/internal/randomwalk"
 	"almostmix/internal/rngutil"
 )
@@ -57,6 +58,34 @@ func BenchmarkCongestEngine(b *testing.B) {
 // trace sink attached, to quantify the cost of full per-round
 // observability relative to BenchmarkCongestEngine's no-probe baseline
 // (which must stay probe-free fast: the layer is nil-checked out).
+// BenchmarkCongestEngineMetrics is the same workload with a live metrics
+// registry attached (no trace sink), isolating the cost of the host-side
+// instrument updates — per-round histogram observations, message
+// counters, and worker busy accounting — from the trace layer's.
+func BenchmarkCongestEngineMetrics(b *testing.B) {
+	fx := engineBenchShared()
+	const steps = 20
+	for _, workers := range []int{1, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			reg := metrics.New()
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := randomwalk.RunNetworkObserved(fx.g, fx.counts, steps,
+					rngutil.NewSource(131), workers, nil, reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}
+
 func BenchmarkCongestEngineTraced(b *testing.B) {
 	fx := engineBenchShared()
 	const steps = 20

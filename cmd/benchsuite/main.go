@@ -1,0 +1,419 @@
+// Command benchsuite runs the repository's standard benchmark set — the
+// CONGEST engine (bare and traced), the embedded-tier route and MST, and
+// two hierarchy ablations — under warmup/repetition control and writes a
+// schema-versioned BENCH_<git-sha>.json: ns/op, allocs/op, the
+// benchmarks' custom metrics (rounds/sec, base-rounds, …) and one
+// host-metrics registry snapshot per case from an extra instrumented
+// pass. The files start the perf trajectory: successive commits produce
+// comparable BENCH_*.json artifacts (see `make bench-json` and CI).
+//
+// The timed loops run through testing.Benchmark, so ns/op and allocs/op
+// mean exactly what `go test -bench` reports; the instrumented pass is
+// untimed and never contaminates them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/embed"
+	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
+	"almostmix/internal/mst"
+	"almostmix/internal/mstbase"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/route"
+	"almostmix/internal/spectral"
+)
+
+// Schema identifies the benchsuite output format.
+const Schema = "almostmix-bench/v1"
+
+// Document is the top-level BENCH_<sha>.json structure.
+type Document struct {
+	Schema     string    `json:"schema"`
+	GitSHA     string    `json:"git_sha"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Quick      bool      `json:"quick"`
+	BenchTime  string    `json:"benchtime"`
+	Warmup     int       `json:"warmup"`
+	Reps       int       `json:"reps"`
+	Cases      []*Result `json:"cases"`
+}
+
+// Result is one benchmark case: the minimum over reps (the conventional
+// stable estimator) plus every rep so trajectory tooling can judge noise.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	RepsNsPerOp []float64          `json:"reps_ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+	Metrics     *metrics.Snapshot  `json:"metrics,omitempty"`
+}
+
+// benchCase couples the timed benchmark body with an untimed instrumented
+// pass that fills a registry for the embedded snapshot.
+type benchCase struct {
+	name    string
+	bench   func(b *testing.B)
+	observe func(reg *metrics.Registry) error
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<sha>.json)")
+	quick := flag.Bool("quick", false, "CI scale: small fixtures and -benchtime 1x by default")
+	benchtime := flag.String("benchtime", "", `per-rep benchmark time, e.g. "1s" or "5x" (default "1s"; "1x" with -quick)`)
+	warmup := flag.Int("warmup", 1, "untimed warmup runs per case before the timed reps")
+	reps := flag.Int("reps", 3, "timed repetitions per case (minimum is reported)")
+	runPat := flag.String("run", "", "regexp selecting case names (default all)")
+	sha := flag.String("sha", "", "commit id to stamp into the filename and document (default git rev-parse --short HEAD)")
+	testing.Init()
+	flag.Parse()
+
+	if err := run(*out, *quick, *benchtime, *warmup, *reps, *runPat, *sha); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quick bool, benchtime string, warmup, reps int, runPat, sha string) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps must be >= 1 (got %d)", reps)
+	}
+	if benchtime == "" {
+		benchtime = "1s"
+		if quick {
+			benchtime = "1x"
+		}
+	}
+	filter := regexp.MustCompile("")
+	if runPat != "" {
+		var err error
+		if filter, err = regexp.Compile(runPat); err != nil {
+			return fmt.Errorf("-run: %w", err)
+		}
+	}
+	if sha == "" {
+		sha = gitSHA()
+	}
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", sha)
+	}
+
+	doc := &Document{
+		Schema:     Schema,
+		GitSHA:     sha,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		BenchTime:  benchtime,
+		Warmup:     warmup,
+		Reps:       reps,
+	}
+
+	cases, err := buildCases(quick)
+	if err != nil {
+		return err
+	}
+	for _, c := range cases {
+		if !filter.MatchString(c.name) {
+			continue
+		}
+		res, err := runCase(c, benchtime, warmup, reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		doc.Cases = append(doc.Cases, res)
+		fmt.Printf("%-28s %12.0f ns/op  %9d allocs/op  (%d reps)\n",
+			c.name, res.NsPerOp, res.AllocsPerOp, reps)
+	}
+	if len(doc.Cases) == 0 {
+		return fmt.Errorf("-run %q matched no cases", runPat)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("wrote %d cases to %s\n", len(doc.Cases), out)
+	return nil
+}
+
+// runCase executes warmup + reps timed runs and one instrumented pass.
+func runCase(c *benchCase, benchtime string, warmup, reps int) (*Result, error) {
+	// Warmups run at one iteration regardless of the configured benchtime:
+	// their job is to populate fixtures and steady-state the allocator.
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < warmup; i++ {
+		if r := testing.Benchmark(c.bench); r.N == 0 {
+			return nil, fmt.Errorf("benchmark failed during warmup")
+		}
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return nil, err
+	}
+	res := &Result{Name: c.name}
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(c.bench)
+		if r.N == 0 {
+			return nil, fmt.Errorf("benchmark failed")
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res.RepsNsPerOp = append(res.RepsNsPerOp, ns)
+		if i == 0 || ns < res.NsPerOp {
+			res.NsPerOp = ns
+			res.AllocsPerOp = r.AllocsPerOp()
+			res.BytesPerOp = r.AllocedBytesPerOp()
+			res.Extra = r.Extra
+		}
+	}
+	if c.observe != nil {
+		reg := metrics.New()
+		if err := c.observe(reg); err != nil {
+			return nil, fmt.Errorf("instrumented pass: %w", err)
+		}
+		res.Metrics = reg.Snapshot()
+	}
+	return res, nil
+}
+
+// buildCases assembles the standard set. Fixtures are constructed here,
+// outside every timed loop, and shared by the reps of their case.
+func buildCases(quick bool) ([]*benchCase, error) {
+	engineN, hierN, ablN := 2048, 128, 96
+	if quick {
+		engineN, hierN, ablN = 256, 64, 48
+	}
+	const steps = 20
+
+	eg := graph.RandomRegular(engineN, 8, rngutil.NewRand(131))
+	counts := randomwalk.UniformCountTimesDegree(eg, 1)
+
+	hg := graph.RandomRegular(hierN, 8, rngutil.NewRand(21))
+	hg.AssignDistinctRandomWeights(rngutil.NewRand(22))
+	tau, err := spectral.MixingTime(hg, spectral.Lazy, 1_000_000)
+	if err != nil {
+		return nil, err
+	}
+	hp := embed.DefaultParams()
+	hp.TauMix = tau
+	h, err := embed.Build(hg, hp, rngutil.NewSource(23))
+	if err != nil {
+		return nil, err
+	}
+	reqs := route.RandomPermutation(hg, rngutil.NewRand(31))
+
+	ag := graph.RandomRegular(ablN, 8, rngutil.NewRand(77))
+	atau, err := spectral.MixingTime(ag, spectral.Lazy, 1_000_000)
+	if err != nil {
+		return nil, err
+	}
+
+	var cases []*benchCase
+
+	// The engine cases mirror BenchmarkCongestEngine{,Traced} in
+	// bench_engine_test.go: same workload, same rounds/sec metric.
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		name := "sequential"
+		if workers != 1 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		cases = append(cases,
+			&benchCase{
+				name: "engine/" + name,
+				bench: func(b *testing.B) {
+					b.ReportAllocs()
+					var rounds int
+					for i := 0; i < b.N; i++ {
+						res, err := randomwalk.RunNetwork(eg, counts, steps,
+							rngutil.NewSource(131), workers)
+						if err != nil {
+							b.Fatal(err)
+						}
+						rounds = res.Rounds
+					}
+					b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+				},
+				observe: func(reg *metrics.Registry) error {
+					_, err := randomwalk.RunNetworkObserved(eg, counts, steps,
+						rngutil.NewSource(131), workers, nil, reg)
+					return err
+				},
+			},
+			&benchCase{
+				name: "engine-traced/" + name,
+				bench: func(b *testing.B) {
+					b.ReportAllocs()
+					var rounds int
+					for i := 0; i < b.N; i++ {
+						sink := congest.NewTraceSink()
+						res, err := randomwalk.RunNetworkProbe(eg, counts, steps,
+							rngutil.NewSource(131), workers, sink)
+						if err != nil {
+							b.Fatal(err)
+						}
+						rounds = res.Rounds
+					}
+					b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+				},
+				observe: func(reg *metrics.Registry) error {
+					sink := congest.NewTraceSink().WithMetrics(reg)
+					_, err := randomwalk.RunNetworkObserved(eg, counts, steps,
+						rngutil.NewSource(131), workers, sink, reg)
+					return err
+				},
+			})
+	}
+
+	// Embedded-tier cases mirror BenchmarkEmbedded{Route,MST}; their
+	// instrumented pass pairs the cost-ledger spans with wall clock the
+	// way -trace + -metrics do in the cmd binaries.
+	cases = append(cases,
+		&benchCase{
+			name: "embedded/route",
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					rep, err := route.Route(h, reqs, rngutil.NewSource(32))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = rep.BaseRounds
+				}
+				b.ReportMetric(float64(rounds), "base-rounds")
+			},
+			observe: func(reg *metrics.Registry) error {
+				rep, err := route.Route(h, reqs, rngutil.NewSource(32))
+				if err != nil {
+					return err
+				}
+				congest.NewTraceSink().WithMetrics(reg).AddCosts("route", rep.Costs)
+				return nil
+			},
+		},
+		&benchCase{
+			name: "embedded/mst",
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					res, err := mst.Run(h, rngutil.NewSource(uint64(300+i)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Rounds
+				}
+				b.ReportMetric(float64(rounds), "total-rounds")
+			},
+			observe: func(reg *metrics.Registry) error {
+				res, err := mst.Run(h, rngutil.NewSource(300))
+				if err != nil {
+					return err
+				}
+				congest.NewTraceSink().WithMetrics(reg).AddCosts("mst", res.Costs)
+				return nil
+			},
+		},
+		&benchCase{
+			name: "embedded/ghs-net",
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					res, err := mstbase.GHSNetwork(hg, rngutil.NewSource(33))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+			},
+			observe: func(reg *metrics.Registry) error {
+				_, err := mstbase.GHSNetworkObserved(hg, rngutil.NewSource(33), 1, nil, reg)
+				return err
+			},
+		})
+
+	// Two ablation points from bench_ablation_test.go's sweeps, kept small
+	// so the suite stays runnable per-commit.
+	for _, abl := range []struct {
+		name   string
+		mutate func(*embed.Params)
+	}{
+		{"ablation/beta=4", func(p *embed.Params) { p.Beta = 4; p.LeafSize = 12 }},
+		{"ablation/walklen=2", func(p *embed.Params) { p.WalkLenFactor = 2 }},
+	} {
+		abl := abl
+		p := embed.DefaultParams()
+		p.TauMix = atau
+		abl.mutate(&p)
+		cases = append(cases, &benchCase{
+			name: abl.name,
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					ah, err := embed.Build(ag, p, rngutil.NewSource(78))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err := route.Route(ah, route.RandomPermutation(ag, rngutil.NewRand(79)),
+						rngutil.NewSource(uint64(80+i)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = rep.BaseRounds
+				}
+				b.ReportMetric(float64(rounds), "route-rounds")
+			},
+			observe: func(reg *metrics.Registry) error {
+				ah, err := embed.Build(ag, p, rngutil.NewSource(78))
+				if err != nil {
+					return err
+				}
+				sink := congest.NewTraceSink().WithMetrics(reg)
+				sink.AddCosts("construction", ah.Costs)
+				rep, err := route.Route(ah, route.RandomPermutation(ag, rngutil.NewRand(79)),
+					rngutil.NewSource(80))
+				if err != nil {
+					return err
+				}
+				sink.AddCosts("route", rep.Costs)
+				return nil
+			},
+		})
+	}
+	return cases, nil
+}
+
+// gitSHA resolves the short commit id, or "unknown" outside a checkout.
+func gitSHA() string {
+	ctxOut, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(ctxOut))
+}

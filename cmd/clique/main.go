@@ -16,6 +16,7 @@ import (
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 	"almostmix/internal/spectral"
 )
@@ -24,17 +25,27 @@ func main() {
 	n := flag.Int("n", 64, "number of nodes")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	trace := flag.String("trace", "", "write the per-run cost-ledger breakdowns to this file (.json for JSON, CSV otherwise)")
+	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
+	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
+	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
-	if err := run(*n, *seed, *trace); err != nil {
+	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
+	if err == nil {
+		err = run(*n, *seed, *trace, sess)
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "clique:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed uint64, trace string) error {
+func run(n int, seed uint64, trace string, sess *metrics.Session) error {
 	var sink *congest.TraceSink
-	if trace != "" {
-		sink = congest.NewTraceSink()
+	if trace != "" || sess.Registry() != nil {
+		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
 	}
 	t := harness.NewTable(
 		fmt.Sprintf("E7 — Theorem 1.3: clique emulation on G(n=%d, p)", n),
@@ -56,7 +67,9 @@ func run(n int, seed uint64, trace string) error {
 		if err != nil {
 			return err
 		}
+		stopEmu := sess.Time(fmt.Sprintf("clique_emulation_p%.2f", p))
 		res, err := cliquemu.Hierarchical(h, rngutil.NewSource(seed+200+uint64(i)))
+		stopEmu()
 		if err != nil {
 			return err
 		}
@@ -82,7 +95,7 @@ func run(n int, seed uint64, trace string) error {
 		harness.LogLogSlope(invP, hier))
 	fmt.Println("Shape check: both algorithms cheapen as p (and hence h) grows; the")
 	fmt.Println("polylog-inflated hierarchical cost tracks the 1/p trend of the corollary.")
-	if sink != nil {
+	if sink != nil && trace != "" {
 		if err := sink.WriteFile(trace); err != nil {
 			return err
 		}

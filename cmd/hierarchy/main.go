@@ -16,6 +16,7 @@ import (
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 	"almostmix/internal/spectral"
 )
@@ -27,17 +28,29 @@ func main() {
 	leaf := flag.Int("leaf", 0, "leaf part size target (0 = default)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	trace := flag.String("trace", "", "write the construction cost-ledger breakdown to this file (.json for JSON, CSV otherwise)")
+	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
+	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
+	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
 
-	if err := run(*n, *d, *beta, *leaf, *seed, *trace); err != nil {
+	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
+	if err == nil {
+		err = run(*n, *d, *beta, *leaf, *seed, *trace, sess)
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hierarchy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, d, beta, leaf int, seed uint64, trace string) error {
+func run(n, d, beta, leaf int, seed uint64, trace string, sess *metrics.Session) error {
 	g := graph.RandomRegular(n, d, rngutil.NewRand(seed))
+	stopTau := sess.Time("mixing_time")
 	tau, err := spectral.MixingTime(g, spectral.Lazy, 1_000_000)
+	stopTau()
 	if err != nil {
 		return err
 	}
@@ -45,7 +58,9 @@ func run(n, d, beta, leaf int, seed uint64, trace string) error {
 	p.Beta = beta
 	p.LeafSize = leaf
 	p.TauMix = tau
+	stopBuild := sess.Time("embed_build")
 	h, err := embed.Build(g, p, rngutil.NewSource(seed+1))
+	stopBuild()
 	if err != nil {
 		return err
 	}
@@ -92,13 +107,15 @@ func run(n, d, beta, leaf int, seed uint64, trace string) error {
 
 	printFigure1(h)
 
-	if trace != "" {
-		sink := congest.NewTraceSink()
+	if trace != "" || sess.Registry() != nil {
+		sink := congest.NewTraceSink().WithMetrics(sess.Registry())
 		sink.Label(fmt.Sprintf("rr%dd%d", n, d)).AddCosts("construction", h.Costs)
-		if err := sink.WriteFile(trace); err != nil {
-			return err
+		if trace != "" {
+			if err := sink.WriteFile(trace); err != nil {
+				return err
+			}
+			fmt.Printf("wrote construction cost ledger (%d rows) to %s\n", len(sink.Costs), trace)
 		}
-		fmt.Printf("wrote construction cost ledger (%d rows) to %s\n", len(sink.Costs), trace)
 	}
 	return nil
 }

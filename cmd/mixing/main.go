@@ -15,6 +15,7 @@ import (
 
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 	"almostmix/internal/spectral"
 )
@@ -22,21 +23,28 @@ import (
 func main() {
 	gnp := flag.Bool("gnp", false, "run the E11 G(n,p) expansion sweep instead of the E3 family table")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
+	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
+	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
-	if *gnp {
-		if err := runGnp(*seed); err != nil {
-			fmt.Fprintln(os.Stderr, "mixing:", err)
-			os.Exit(1)
+	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
+	if err == nil {
+		if *gnp {
+			err = runGnp(*seed, sess)
+		} else {
+			err = runFamilies(*seed, sess)
 		}
-		return
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
 	}
-	if err := runFamilies(*seed); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mixing:", err)
 		os.Exit(1)
 	}
 }
 
-func runFamilies(seed uint64) error {
+func runFamilies(seed uint64, sess *metrics.Session) error {
 	r := rngutil.NewRand(seed)
 	families := []struct {
 		name string
@@ -59,7 +67,9 @@ func runFamilies(seed uint64) error {
 	for _, f := range families {
 		h := spectral.EdgeExpansion(f.g)
 		bound := spectral.Lemma23Bound(f.g, h)
+		stop := sess.Time("mixing_time_" + f.name)
 		tm, err := spectral.MixingTime(f.g, spectral.Regular, int(bound)+10)
+		stop()
 		if err != nil {
 			return fmt.Errorf("%s: %w", f.name, err)
 		}
@@ -71,7 +81,7 @@ func runFamilies(seed uint64) error {
 	return nil
 }
 
-func runGnp(seed uint64) error {
+func runGnp(seed uint64, sess *metrics.Session) error {
 	const n = 128
 	t := harness.NewTable("E11 — G(n,p): h(G) and Δ vs np (n = 128)",
 		"p", "np", "m", "Δ", "h-sweep", "h/np", "Δ/np")
@@ -80,7 +90,9 @@ func runGnp(seed uint64) error {
 		if err != nil {
 			return err
 		}
+		stop := sess.Time(fmt.Sprintf("expansion_sweep_p%.2f", p))
 		h := spectral.EdgeExpansionSweep(g)
+		stop()
 		np := float64(n) * p
 		t.AddRow(p, np, g.M(), g.MaxDegree(), h, h/np, float64(g.MaxDegree())/np)
 	}

@@ -13,6 +13,7 @@ import (
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
+	"almostmix/internal/metrics"
 	"almostmix/internal/mst"
 	"almostmix/internal/mstbase"
 	"almostmix/internal/rngutil"
@@ -26,17 +27,27 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 1, "simulator workers for -ghsnet (1 = sequential reference, 0 = one per CPU); results are identical for every value")
 	trace := flag.String("trace", "", "write a trace to this file (.json for JSON, CSV otherwise): per-round records of the -ghsnet runs plus the hierarchical MST's cost-ledger breakdown; implies -ghsnet")
+	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
+	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
+	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
-	if err := run(*audit, *ghsnet, *quick, *seed, *workers, *trace); err != nil {
+	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
+	if err == nil {
+		err = run(*audit, *ghsnet, *quick, *seed, *workers, *trace, sess)
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mst:", err)
 		os.Exit(1)
 	}
 }
 
-func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string) error {
+func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string, sess *metrics.Session) error {
 	var sink *congest.TraceSink
-	if trace != "" {
-		sink = congest.NewTraceSink()
+	if trace != "" || sess.Registry() != nil {
+		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
 		ghsnet = true
 	}
 	instances := []struct {
@@ -65,11 +76,15 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string) erro
 		}
 		p := embed.DefaultParams()
 		p.TauMix = tau
+		stopBuild := sess.Time("embed_build_" + inst.name)
 		h, err := embed.Build(g, p, rngutil.NewSource(seed+10))
+		stopBuild()
 		if err != nil {
 			return fmt.Errorf("%s: %w", inst.name, err)
 		}
+		stopMST := sess.Time("mst_run_" + inst.name)
 		res, err := mst.Run(h, rngutil.NewSource(seed+20))
+		stopMST()
 		if err != nil {
 			return fmt.Errorf("%s: %w", inst.name, err)
 		}
@@ -115,7 +130,7 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string) erro
 			if sink != nil {
 				probe = sink.Label(inst.name)
 			}
-			res, err := mstbase.GHSNetworkProbe(inst.g, rngutil.NewSource(seed+30), workers, probe)
+			res, err := mstbase.GHSNetworkObserved(inst.g, rngutil.NewSource(seed+30), workers, probe, sess.Registry())
 			if err != nil {
 				return err
 			}
@@ -126,7 +141,7 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string) erro
 		fmt.Println("Round counts are engine-independent: -workers changes wall-clock only")
 		fmt.Println("(see DESIGN.md §3).")
 	}
-	if sink != nil {
+	if sink != nil && trace != "" {
 		if err := sink.WriteFile(trace); err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@ import (
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 	"almostmix/internal/route"
 	"almostmix/internal/spectral"
@@ -24,9 +25,19 @@ func main() {
 	quick := flag.Bool("quick", false, "run only the smallest expander instance (CI smoke)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	trace := flag.String("trace", "", "write a per-round trace of every routing run to this file (.json for JSON, CSV otherwise): preparation-walk congestion, the recursion's phase timeline, and the per-run cost-ledger breakdown")
+	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
+	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
+	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
 
-	if err := run(*levels, *quick, *seed, *trace); err != nil {
+	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
+	if err == nil {
+		err = run(*levels, *quick, *seed, *trace, sess)
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "routing:", err)
 		os.Exit(1)
 	}
@@ -51,10 +62,10 @@ func buildInstance(inst instance, seed uint64) (*embed.Hierarchy, int, error) {
 	return h, tau, nil
 }
 
-func run(levels, quick bool, seed uint64, trace string) error {
+func run(levels, quick bool, seed uint64, trace string, sess *metrics.Session) error {
 	var sink *congest.TraceSink
-	if trace != "" {
-		sink = congest.NewTraceSink()
+	if trace != "" || sess.Registry() != nil {
+		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
 	}
 	instances := []instance{
 		{"rr64d8", graph.RandomRegular(64, 8, rngutil.NewRand(seed))},
@@ -71,7 +82,9 @@ func run(levels, quick bool, seed uint64, trace string) error {
 		"graph", "n", "packets", "base rounds", "base/τ")
 	var ns, based []float64
 	for _, inst := range instances {
+		stopBuild := sess.Time("embed_build_" + inst.name)
 		h, tau, err := buildInstance(inst, seed+10)
+		stopBuild()
 		if err != nil {
 			return err
 		}
@@ -80,7 +93,9 @@ func run(levels, quick bool, seed uint64, trace string) error {
 		if sink != nil {
 			probe = sink.Label(inst.name + " perm")
 		}
+		stopRoute := sess.Time("route_perm_" + inst.name)
 		rep, err := route.RouteTraced(h, reqs, rngutil.NewSource(seed+30), probe)
+		stopRoute()
 		if err != nil {
 			return err
 		}
@@ -120,7 +135,7 @@ func run(levels, quick bool, seed uint64, trace string) error {
 	fmt.Println("Theorem 1.2's shape: base/τ grows only polylogarithmically on the")
 	fmt.Println("expander family, while the lollipop's larger τ_mix dominates its cost.")
 
-	if sink != nil {
+	if sink != nil && trace != "" {
 		if err := sink.WriteFile(trace); err != nil {
 			return err
 		}

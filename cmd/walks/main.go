@@ -16,6 +16,7 @@ import (
 	"almostmix/internal/congest"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
+	"almostmix/internal/metrics"
 	"almostmix/internal/randomwalk"
 	"almostmix/internal/rngutil"
 	"almostmix/internal/spectral"
@@ -28,18 +29,28 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 1, "simulator workers for the node-program walk (1 = sequential reference, 0 = one per CPU); results are identical for every value")
 	trace := flag.String("trace", "", "write a per-round trace of every run to this file (.json for JSON, CSV otherwise)")
+	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
+	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
+	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
 
-	if err := run(*n, *d, *steps, *seed, *workers, *trace); err != nil {
+	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
+	if err == nil {
+		err = run(*n, *d, *steps, *seed, *workers, *trace, sess)
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "walks:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, d, steps int, seed uint64, workers int, trace string) error {
+func run(n, d, steps int, seed uint64, workers int, trace string, sess *metrics.Session) error {
 	var sink *congest.TraceSink
-	if trace != "" {
-		sink = congest.NewTraceSink()
+	if trace != "" || sess.Registry() != nil {
+		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
 	}
 	g := graph.RandomRegular(n, d, rngutil.NewRand(seed))
 	logN := math.Log2(float64(n))
@@ -55,7 +66,9 @@ func run(n, d, steps int, seed uint64, workers int, trace string) error {
 		if sink != nil {
 			cfg.Probe = sink.Label(fmt.Sprintf("E4 k=%d", k))
 		}
+		stop := sess.Time(fmt.Sprintf("e4_analytic_k%d", k))
 		res := randomwalk.Run(g, sources, cfg, rngutil.NewRand(seed+uint64(k)))
+		stop()
 		t.AddRow(k, len(sources),
 			res.Stats.MaxTokensAtNode, float64(k*d)+logN,
 			float64(res.Stats.Rounds)/float64(steps), float64(k)+logN)
@@ -75,8 +88,8 @@ func run(n, d, steps int, seed uint64, workers int, trace string) error {
 		if sink != nil {
 			probe = sink.Label(fmt.Sprintf("E4b k=%d", k))
 		}
-		res, err := randomwalk.RunNetworkProbe(g, randomwalk.UniformCountTimesDegree(g, k),
-			steps, rngutil.NewSource(seed+100+uint64(k)), workers, probe)
+		res, err := randomwalk.RunNetworkObserved(g, randomwalk.UniformCountTimesDegree(g, k),
+			steps, rngutil.NewSource(seed+100+uint64(k)), workers, probe, sess.Registry())
 		if err != nil {
 			return err
 		}
@@ -91,7 +104,7 @@ func run(n, d, steps int, seed uint64, workers int, trace string) error {
 	fmt.Println("Engine results are bit-identical for every -workers value; the flag")
 	fmt.Println("changes wall-clock time only (see DESIGN.md §3).")
 
-	if sink != nil {
+	if sink != nil && trace != "" {
 		if err := sink.WriteFile(trace); err != nil {
 			return err
 		}

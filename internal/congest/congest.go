@@ -18,8 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 )
 
@@ -159,6 +161,10 @@ type Network struct {
 	// lazily allocated scratch buffers.
 	probe Probe
 	ps    *probeState
+	// reg, when non-nil, receives host-side metrics (see metrics.go); ms
+	// is the per-run state the engines consult through one nil check.
+	reg *metrics.Registry
+	ms  *metricsState
 }
 
 // NewNetwork builds a network over g where node v runs programs[v].
@@ -291,6 +297,7 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 		return n.rounds, err
 	}
 	n.probeRunStart("sequential", 1)
+	ms := n.metricsRunStart(1)
 	for v, prog := range n.programs {
 		prog.Init(n.ctxs[v])
 	}
@@ -301,6 +308,10 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 	for r := 0; r < maxRounds; r++ {
 		if n.allHalted() {
 			return n.finish(nil)
+		}
+		var t0 time.Time
+		if ms != nil {
+			t0 = time.Now()
 		}
 		// Deliver round r−1's sends: each receiver scans its own ports in
 		// order, reading the matching outbox slot of the sender across
@@ -340,6 +351,9 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 		}
 		if n.probe != nil {
 			n.probeRoundFlush(inboxes, delivered, active)
+		}
+		if ms != nil {
+			ms.roundEnd(t0, delivered)
 		}
 	}
 	if n.allHalted() {

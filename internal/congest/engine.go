@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // normalizeWorkers resolves a worker-count request: values <= 0 select one
@@ -114,6 +115,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 		workers = 1
 	}
 	n.probeRunStart("parallel", workers)
+	ms := n.metricsRunStart(workers)
 	for v, prog := range n.programs {
 		prog.Init(n.ctxs[v])
 	}
@@ -160,21 +162,34 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 		}
 	}
 
+	// With metrics attached, wrap both phase tasks so each worker
+	// accumulates its shard's busy time; the fast path keeps the bare
+	// closures.
+	deliver, step := deliverPhase, stepPhase
+	if ms != nil {
+		deliver, step = ms.timed(deliverPhase), ms.timed(stepPhase)
+	}
+	sumDelivered := func() int {
+		total := 0
+		for w := 0; w < workers; w++ {
+			total += delivered[w*pad]
+		}
+		return total
+	}
+
 	pool := newWorkerPool(workers)
 	defer pool.close()
 	for r := 0; r < maxRounds; r++ {
 		if n.allHalted() {
 			return n.finish(nil)
 		}
-		pool.dispatch(workers, deliverPhase)
-		if quiet && r > 0 {
-			total := 0
-			for w := 0; w < workers; w++ {
-				total += delivered[w*pad]
-			}
-			if total == 0 {
-				return n.finish(nil)
-			}
+		var t0 time.Time
+		if ms != nil {
+			t0 = time.Now()
+		}
+		pool.dispatch(workers, deliver)
+		if quiet && r > 0 && sumDelivered() == 0 {
+			return n.finish(nil)
 		}
 		n.rounds++
 		// The probe's active count (nodes about to step) is read here, on
@@ -187,13 +202,12 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 				}
 			}
 		}
-		pool.dispatch(workers, stepPhase)
+		pool.dispatch(workers, step)
 		if n.probe != nil {
-			total := 0
-			for w := 0; w < workers; w++ {
-				total += delivered[w*pad]
-			}
-			n.probeRoundFlush(inboxes, total, active)
+			n.probeRoundFlush(inboxes, sumDelivered(), active)
+		}
+		if ms != nil {
+			ms.roundEnd(t0, sumDelivered())
 		}
 	}
 	if n.allHalted() {

@@ -262,11 +262,15 @@ func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int) {
 	ps.touched = ps.touched[:0]
 }
 
-// finish fires RunEnd and returns the run result; every engine return
-// path goes through it.
+// finish fires RunEnd, closes the metrics run, and returns the run
+// result; every engine return path goes through it.
 func (n *Network) finish(err error) (int, error) {
 	if n.probe != nil {
 		n.probe.RunEnd(n.rounds, err)
+	}
+	if n.ms != nil {
+		n.ms.runEnd()
+		n.ms = nil
 	}
 	return n.rounds, err
 }

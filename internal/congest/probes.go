@@ -23,6 +23,7 @@ import (
 
 	"almostmix/internal/cost"
 	"almostmix/internal/harness"
+	"almostmix/internal/metrics"
 )
 
 // RoundSample is one exported row of a RoundTrace.
@@ -245,6 +246,7 @@ type CostSample struct {
 // tables otherwise. It backs the -trace flag of the cmd/ binaries.
 type TraceSink struct {
 	label  string
+	reg    *metrics.Registry
 	Rounds *RoundTrace
 	Loads  *NodeLoadTrace
 	Phases *PhaseTimeline
@@ -266,6 +268,17 @@ func NewTraceSink() *TraceSink {
 // "rr64d8 prep".
 func (s *TraceSink) Label(name string) *TraceSink {
 	s.label = name
+	return s
+}
+
+// WithMetrics pairs the sink with a host-metrics registry: every ledger
+// passed to AddCosts additionally records one wall-clock counter per
+// span, named "span_wall_ns{run=<run>,path=<path>}" with run and path
+// exactly matching the trace's cost rows. The -trace file itself stays
+// byte-deterministic (wall times never enter it); the pairing lives in
+// the -metrics snapshot. A nil registry leaves the sink unchanged.
+func (s *TraceSink) WithMetrics(reg *metrics.Registry) *TraceSink {
+	s.reg = reg
 	return s
 }
 
@@ -305,6 +318,11 @@ func (s *TraceSink) AddCosts(run string, led *cost.Ledger) {
 			Total:  row.Total,
 			Rolled: row.Rolled,
 		})
+	}
+	if s.reg != nil {
+		for _, w := range led.WallRows() {
+			s.reg.Counter(fmt.Sprintf("span_wall_ns{run=%s,path=%s}", run, w.Path)).Add(w.WallNS)
+		}
 	}
 }
 
@@ -361,11 +379,13 @@ func (s *TraceSink) WriteCSV(w io.Writer) error {
 }
 
 // WriteFile writes the trace to path: JSON when the extension is .json,
-// CSV otherwise.
+// CSV otherwise. Every I/O error (create, write or close) is returned,
+// wrapped with the path, so the cmd binaries can propagate export
+// failures to their exit code instead of best-effort writing.
 func (s *TraceSink) WriteFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("trace: %w", err)
 	}
 	if filepath.Ext(path) == ".json" {
 		err = s.WriteJSON(f)
@@ -375,5 +395,8 @@ func (s *TraceSink) WriteFile(path string) error {
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return err
+	if err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return nil
 }

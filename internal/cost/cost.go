@@ -29,7 +29,13 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
+
+// now is the ledger's clock, swappable by tests for deterministic
+// wall-time assertions. time.Time carries a monotonic reading, so span
+// wall times are immune to wall-clock steps.
+var now = time.Now
 
 // Span is one node of the cost tree. Amounts are integers in the span's
 // own unit; Mul converts one unit of this span into the parent's unit.
@@ -49,6 +55,17 @@ type Span struct {
 	// Children are the sub-spans, in creation order. They roll into
 	// this span's Total through their own Mul factors.
 	Children []*Span
+
+	// wallNS is the measured host time the span was open under a Ledger
+	// (Open → Close, inclusive of children), in nanoseconds. It pairs
+	// every simulated-round figure with its wall-clock analogue. Spans
+	// created by NewChild and never ledger-opened stay at 0. Deliberately
+	// excluded from Row: -trace exports must stay byte-deterministic, so
+	// wall times travel through FlattenWall into -metrics snapshots
+	// instead.
+	wallNS int64
+	// opened is the Ledger.Open timestamp, zero once closed.
+	opened time.Time
 }
 
 // NewChild appends and returns a child span. Unlike Ledger.Open it does
@@ -88,6 +105,16 @@ func (s *Span) Rolled() int {
 		return 0
 	}
 	return s.Mul * s.Total()
+}
+
+// Wall returns the measured host time the span was open under a Ledger
+// (inclusive of children). Zero for spans never ledger-opened, still
+// open, or nil.
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.wallNS)
 }
 
 // Child returns the first child with the given name, or nil.
@@ -157,7 +184,7 @@ type Ledger struct {
 
 // New returns a ledger whose root span is open and current.
 func New(name, unit string) *Ledger {
-	root := &Span{Name: name, Unit: unit, Mul: 1}
+	root := &Span{Name: name, Unit: unit, Mul: 1, opened: now()}
 	return &Ledger{Root: root, stack: []*Span{root}}
 }
 
@@ -197,6 +224,7 @@ func (l *Ledger) Open(name, unit string, mul int) *Span {
 		return &Span{Name: name, Unit: unit, Mul: mul}
 	}
 	c := cur.NewChild(name, unit, mul)
+	c.opened = now()
 	l.stack = append(l.stack, c)
 	return c
 }
@@ -238,6 +266,10 @@ func (l *Ledger) Close() int {
 		l.violate("cost: Close with no open span")
 		return 0
 	}
+	if !cur.opened.IsZero() {
+		cur.wallNS += now().Sub(cur.opened).Nanoseconds()
+		cur.opened = time.Time{}
+	}
 	l.stack = l.stack[:len(l.stack)-1]
 	return cur.Total()
 }
@@ -272,4 +304,43 @@ func (l *Ledger) Rows() []Row {
 		return nil
 	}
 	return Flatten(l.Root)
+}
+
+// WallRow pairs a flattened span path with its measured host time. The
+// Path values coincide index for index with Flatten's, so every
+// simulated-round row a trace exports has a same-path wall entry for the
+// metrics snapshot.
+type WallRow struct {
+	Path   string
+	WallNS int64
+}
+
+// FlattenWall renders the span tree's host times in the same depth-first
+// pre-order (and with the same paths) as Flatten.
+func FlattenWall(s *Span) []WallRow {
+	var rows []WallRow
+	var walk func(sp *Span, prefix string)
+	walk = func(sp *Span, prefix string) {
+		path := sp.Name
+		if prefix != "" {
+			path = prefix + "/" + sp.Name
+		}
+		rows = append(rows, WallRow{Path: path, WallNS: sp.wallNS})
+		for _, c := range sp.Children {
+			walk(c, path)
+		}
+	}
+	if s != nil {
+		walk(s, "")
+	}
+	return rows
+}
+
+// WallRows flattens the whole ledger's host times (depth-first
+// pre-order, paths matching Rows).
+func (l *Ledger) WallRows() []WallRow {
+	if l == nil {
+		return nil
+	}
+	return FlattenWall(l.Root)
 }

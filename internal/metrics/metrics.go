@@ -1,0 +1,276 @@
+// Package metrics is the host-side registry: counters, gauges and
+// fixed-bucket histograms measuring what the machine does while the
+// simulator measures what the model does. The cost ledger (internal/cost)
+// and the probe layer (internal/congest) account simulated rounds; this
+// package accounts the wall-clock, allocation and scheduler behaviour of
+// the process executing them, so the two trajectories can be read side by
+// side (EXPERIMENTS.md).
+//
+// The contract mirrors the probe layer's (DESIGN.md §3):
+//
+//   - A nil *Registry is the off switch. Every method on a nil Registry
+//     returns a nil instrument, and every method on a nil instrument is a
+//     no-op, so an instrumented hot loop with metrics off pays exactly one
+//     nil check — the same fast-path discipline as Ctx.Mark without a
+//     probe (BenchmarkCongestEngine guards this).
+//   - Instruments are lock-sharded. A Counter or Histogram holds a small
+//     fixed array of cache-line-padded cells; single-writer call sites use
+//     cell 0 via Add/Observe, and the parallel engine's workers write
+//     their own cell via AddShard/ObserveShard, so concurrent accounting
+//     never contends on a line. Snapshot merges the shards.
+//   - Snapshots are deterministic in shape: instruments are sorted by
+//     name, bucket layouts are fixed at construction, and shard values
+//     merge by summation in shard order, so two runs differ only in the
+//     measured values, never in the schema of the export.
+//
+// Registration is idempotent: asking for an existing name returns the
+// existing instrument, so call sites need no shared setup phase.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the stripe width of sharded instruments. Writers index with
+// shard&(numShards-1), so any worker ID is a valid shard hint.
+const numShards = 8
+
+// cellPad spaces int64 cells a cache line apart so shards never share one.
+const cellPad = 8
+
+// Registry holds named instruments. The zero value is not usable — New
+// allocates one — but a nil *Registry is: it hands out nil instruments
+// whose methods all no-op, which is the metrics-off fast path.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (ascending; an implicit overflow bucket catches everything
+// above the last bound) on first use. Later calls return the existing
+// histogram regardless of bounds: the layout is fixed at creation. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("metrics: histogram %q bounds not ascending at %d", name, i))
+			}
+		}
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			cells:  make([]int64, numShards*(len(bounds)+1)*cellPad),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing sharded int64.
+type Counter struct {
+	cells [numShards * cellPad]int64
+}
+
+// Add increments the counter on shard 0. Safe for concurrent use; prefer
+// AddShard from the parallel engine's workers to avoid line contention.
+// A nil counter ignores the call.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.cells[0], n)
+}
+
+// AddShard increments the counter on the given shard stripe (any int is a
+// valid hint). A nil counter ignores the call.
+func (c *Counter) AddShard(shard int, n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.cells[(shard&(numShards-1))*cellPad], n)
+}
+
+// Value merges the shards. A nil counter reads 0.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for s := 0; s < numShards; s++ {
+		total += atomic.LoadInt64(&c.cells[s*cellPad])
+	}
+	return total
+}
+
+// Gauge is a last-write-wins float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the value. A nil gauge ignores the call.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the last value set (0 before any Set, or on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts int64 observations into fixed buckets: observation v
+// lands in the first bucket with v <= bound, or in the implicit overflow
+// bucket above the last bound. Counts and the running sum are sharded like
+// Counter cells.
+type Histogram struct {
+	bounds []int64
+	// cells[(shard*(len(bounds)+1) + bucket) * cellPad] is the sharded
+	// per-bucket count.
+	cells []int64
+	// sums and counts are the sharded Σv and N for mean derivation.
+	sums   [numShards * cellPad]int64
+	counts [numShards * cellPad]int64
+}
+
+// bucketOf locates v's bucket index (len(bounds) = overflow) by binary
+// search over the fixed bounds.
+func (h *Histogram) bucketOf(v int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records v on shard 0. A nil histogram ignores the call.
+func (h *Histogram) Observe(v int64) { h.ObserveShard(0, v) }
+
+// ObserveShard records v on the given shard stripe. A nil histogram
+// ignores the call.
+func (h *Histogram) ObserveShard(shard int, v int64) {
+	if h == nil {
+		return
+	}
+	s := shard & (numShards - 1)
+	atomic.AddInt64(&h.cells[(s*(len(h.bounds)+1)+h.bucketOf(v))*cellPad], 1)
+	atomic.AddInt64(&h.sums[s*cellPad], v)
+	atomic.AddInt64(&h.counts[s*cellPad], 1)
+}
+
+// Count merges the per-shard observation counts (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for s := 0; s < numShards; s++ {
+		n += atomic.LoadInt64(&h.counts[s*cellPad])
+	}
+	return n
+}
+
+// Sum merges the per-shard observation sums (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	var v int64
+	for s := 0; s < numShards; s++ {
+		v += atomic.LoadInt64(&h.sums[s*cellPad])
+	}
+	return v
+}
+
+// bucketCounts merges the shards into one count per bucket (overflow
+// last), in shard order — the deterministic drain the snapshot exports.
+func (h *Histogram) bucketCounts() []int64 {
+	nb := len(h.bounds) + 1
+	merged := make([]int64, nb)
+	for s := 0; s < numShards; s++ {
+		for b := 0; b < nb; b++ {
+			merged[b] += atomic.LoadInt64(&h.cells[(s*nb+b)*cellPad])
+		}
+	}
+	return merged
+}
+
+// PowersOf2 returns ascending power-of-two bounds from 2^lo to 2^hi
+// inclusive — the standard latency bucket layout used for wall-time
+// histograms (2^8 ns ≈ 256ns up to 2^30 ns ≈ 1.07s covers the engines'
+// per-round range on any plausible host).
+func PowersOf2(lo, hi int) []int64 {
+	if lo < 0 || hi < lo || hi > 62 {
+		panic(fmt.Sprintf("metrics: bad PowersOf2 range [%d,%d]", lo, hi))
+	}
+	bounds := make([]int64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		bounds = append(bounds, int64(1)<<uint(e))
+	}
+	return bounds
+}
+
+// WallBuckets is the default per-round wall-time bucket layout.
+func WallBuckets() []int64 { return PowersOf2(8, 30) }

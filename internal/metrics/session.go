@@ -1,0 +1,146 @@
+package metrics
+
+// Session is the cmd-side bundle behind the -metrics and -pprof flags:
+// one registry destined for one snapshot file, an optional runtime
+// profile capture, and process-level accounting (session wall time,
+// allocation deltas via runtime.ReadMemStats at the session's phase
+// marks — start and close). Close is the single exit point: it stops the
+// profile, stamps the host gauges, writes the snapshot and returns every
+// I/O error so main can fold it into the exit code.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Session owns the host-observability lifecycle of one cmd invocation.
+// A fully disabled session (no -metrics, no -pprof) is a valid no-op:
+// Registry returns nil (so all instrumentation downstream collapses to
+// nil checks) and Close does nothing.
+type Session struct {
+	reg       *Registry
+	path      string
+	start     time.Time
+	startMem  runtime.MemStats
+	pprofStop func() error
+}
+
+// StartSession begins host observability for a cmd run. metricsPath is
+// the -metrics destination ("" disables the registry entirely);
+// pprofMode is "", "cpu", "heap" or "mutex"; pprofPath defaults to
+// "<mode>.pprof". The returned session is never nil on success.
+func StartSession(metricsPath, pprofMode, pprofPath string) (*Session, error) {
+	s := &Session{path: metricsPath, start: time.Now()}
+	if metricsPath != "" {
+		s.reg = New()
+		runtime.ReadMemStats(&s.startMem)
+	}
+	if pprofMode != "" {
+		stop, err := startPprof(pprofMode, pprofPath)
+		if err != nil {
+			return nil, err
+		}
+		s.pprofStop = stop
+	}
+	return s, nil
+}
+
+// Registry returns the session's registry — nil when -metrics is off, so
+// every downstream instrument call is a no-op nil check.
+func (s *Session) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Time starts a named wall-clock section; the returned stop function adds
+// the elapsed nanoseconds to counter "<name>_wall_ns". With metrics off
+// both halves are no-ops.
+func (s *Session) Time(name string) func() {
+	if s == nil || s.reg == nil {
+		return func() {}
+	}
+	c := s.reg.Counter(name + "_wall_ns")
+	t0 := time.Now()
+	return func() { c.Add(time.Since(t0).Nanoseconds()) }
+}
+
+// Close stops the profile capture (if any), records the session-level
+// host gauges and writes the snapshot file. It returns the first error
+// encountered; callers must propagate it to the exit code.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var err error
+	if s.pprofStop != nil {
+		err = s.pprofStop()
+		s.pprofStop = nil
+	}
+	if s.reg == nil {
+		return err
+	}
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	s.reg.Gauge("host_session_wall_ns").Set(float64(time.Since(s.start).Nanoseconds()))
+	s.reg.Gauge("host_alloc_bytes_total").Set(float64(end.TotalAlloc - s.startMem.TotalAlloc))
+	s.reg.Gauge("host_heap_alloc_bytes").Set(float64(end.HeapAlloc))
+	s.reg.Gauge("host_gc_cycles").Set(float64(end.NumGC - s.startMem.NumGC))
+	s.reg.Gauge("host_gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+	if werr := s.reg.Snapshot().WriteFile(s.path); err == nil {
+		err = werr
+	}
+	return err
+}
+
+// startPprof begins the requested profile capture and returns the stop
+// function that finalizes and writes it.
+func startPprof(mode, path string) (func() error, error) {
+	if path == "" {
+		path = mode + ".pprof"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	closeAll := func(err error) error {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("pprof: write %s: %w", path, err)
+		}
+		return nil
+	}
+	switch mode {
+	case "cpu":
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return closeAll(nil)
+		}, nil
+	case "heap":
+		return func() error {
+			runtime.GC() // fold transient garbage so the profile shows live heap
+			return closeAll(pprof.WriteHeapProfile(f))
+		}, nil
+	case "mutex":
+		prev := runtime.SetMutexProfileFraction(1)
+		return func() error {
+			err := pprof.Lookup("mutex").WriteTo(f, 0)
+			runtime.SetMutexProfileFraction(prev)
+			return closeAll(err)
+		}, nil
+	default:
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("pprof: unknown mode %q (want cpu, heap or mutex)", mode)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"almostmix/internal/congest"
 	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 )
 
@@ -350,6 +351,14 @@ func GHSNetworkParallel(g *graph.Graph, src *rngutil.Source, workers int) (*Resu
 // 0 at each window boundary. A nil probe is identical to
 // GHSNetworkParallel.
 func GHSNetworkProbe(g *graph.Graph, src *rngutil.Source, workers int, probe congest.Probe) (*Result, error) {
+	return GHSNetworkObserved(g, src, workers, probe, nil)
+}
+
+// GHSNetworkObserved runs like GHSNetworkProbe with a host-metrics
+// registry additionally attached to the simulator (per-round wall time,
+// throughput, worker busy/idle). Nil probe and nil registry are both
+// valid and independent.
+func GHSNetworkObserved(g *graph.Graph, src *rngutil.Source, workers int, probe congest.Probe, reg *metrics.Registry) (*Result, error) {
 	if !g.IsConnected() {
 		return nil, fmt.Errorf("mstbase: %w", graph.ErrDisconnected)
 	}
@@ -358,7 +367,7 @@ func GHSNetworkProbe(g *graph.Graph, src *rngutil.Source, workers int, probe con
 	net := congest.NewUniformNetwork(g, func(v int) congest.Program {
 		nodes[v] = &ghsNode{run: run}
 		return nodes[v]
-	}, src).SetWorkers(workers).SetProbe(probe)
+	}, src).SetWorkers(workers).SetProbe(probe).SetMetrics(reg)
 	iterBudget := 2*log2int(g.N()) + 4
 	rounds, err := net.Run(run.window*iterBudget + 2)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"almostmix/internal/congest"
 	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 )
 
@@ -101,6 +102,15 @@ func RunNetwork(g *graph.Graph, counts []int, steps int, src *rngutil.Source, wo
 // deliveries), which is the measured counterpart of the analytic trace
 // Config.Probe exposes on Run. A nil probe is identical to RunNetwork.
 func RunNetworkProbe(g *graph.Graph, counts []int, steps int, src *rngutil.Source, workers int, probe congest.Probe) (*NetworkWalkResult, error) {
+	return RunNetworkObserved(g, counts, steps, src, workers, probe, nil)
+}
+
+// RunNetworkObserved runs like RunNetworkProbe with a host-metrics
+// registry additionally attached to the simulator, so the engine records
+// per-round wall time, throughput and worker busy/idle splits alongside
+// the probe's simulated-round trajectory. Nil probe and nil registry
+// are both valid and independent.
+func RunNetworkObserved(g *graph.Graph, counts []int, steps int, src *rngutil.Source, workers int, probe congest.Probe, reg *metrics.Registry) (*NetworkWalkResult, error) {
 	if len(counts) != g.N() {
 		panic(fmt.Sprintf("randomwalk: %d counts for %d nodes", len(counts), g.N()))
 	}
@@ -114,7 +124,7 @@ func RunNetworkProbe(g *graph.Graph, counts []int, steps int, src *rngutil.Sourc
 	res := &NetworkWalkResult{ArrivedAt: make([]int, g.N())}
 	net := congest.NewUniformNetwork(g, func(v int) congest.Program {
 		return &walkNode{steps: steps, counts: counts, arrived: res.ArrivedAt}
-	}, src).SetWorkers(workers).SetProbe(probe)
+	}, src).SetWorkers(workers).SetProbe(probe).SetMetrics(reg)
 	// Every round at least one token hops while any remain in flight, so
 	// total hops bounds the makespan.
 	rounds, err := net.RunUntilQuiet(total*steps + 4)

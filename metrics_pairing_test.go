@@ -1,0 +1,50 @@
+package almostmix
+
+import (
+	"fmt"
+	"testing"
+
+	"almostmix/internal/congest"
+)
+
+// TestEveryCostSpanHasWallCounter is the differential contract between
+// the deterministic -trace export and the host-side -metrics snapshot:
+// for every cost-ledger span that lands in a trace's costs section, the
+// registry attached to the same sink must hold a span_wall_ns counter
+// keyed by the identical (run, path) pair. A span present in one export
+// but not the other means the two walks diverged and host timings can no
+// longer be joined onto simulated-round rows.
+func TestEveryCostSpanHasWallCounter(t *testing.T) {
+	f := fixture(t)
+	rep, err := Route(f.h, PermutationWorkload(f.g, 41), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewMetricsRegistry()
+	sink := congest.NewTraceSink().WithMetrics(reg)
+	sink.Label("pairing").AddCosts("construction", f.h.Costs)
+	sink.AddCosts("route", rep.Costs)
+
+	if len(sink.Costs) == 0 {
+		t.Fatal("trace sink collected no cost spans")
+	}
+	snap := reg.Snapshot()
+	for _, cs := range sink.Costs {
+		name := fmt.Sprintf("span_wall_ns{run=%s,path=%s}", cs.Run, cs.Path)
+		if _, ok := snap.Counter(name); !ok {
+			t.Errorf("trace span %s/%s has no paired wall counter %q", cs.Run, cs.Path, name)
+		}
+	}
+
+	// And the converse: no orphan wall counters beyond the traced spans.
+	want := make(map[string]bool, len(sink.Costs))
+	for _, cs := range sink.Costs {
+		want[fmt.Sprintf("span_wall_ns{run=%s,path=%s}", cs.Run, cs.Path)] = true
+	}
+	for _, c := range snap.Counters {
+		if len(c.Name) >= 13 && c.Name[:13] == "span_wall_ns{" && !want[c.Name] {
+			t.Errorf("wall counter %q has no matching trace span", c.Name)
+		}
+	}
+}

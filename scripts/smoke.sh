@@ -1,11 +1,17 @@
 #!/bin/sh
-# CI smoke: build every cmd/ binary, run each at tiny scale with -trace,
-# and check the trace file lands non-empty. Catches wiring rot between the
-# experiment drivers and the cost-ledger/trace export that unit tests
-# can't see (flag parsing, sink plumbing, file writing).
+# CI smoke: build every cmd/ binary, run each at tiny scale with -trace
+# and -metrics, and check both exports land non-empty and schema-valid.
+# Catches wiring rot between the experiment drivers and the
+# cost-ledger/trace export plus the host-metrics session that unit tests
+# can't see (flag parsing, sink plumbing, file writing, exit codes).
+#
+# Set SMOKE_OUT to keep the trace/metrics files (e.g. as CI artifacts);
+# by default they land in a temp dir removed on exit.
 set -eu
 
 tmp=$(mktemp -d)
+out=${SMOKE_OUT:-$tmp}
+mkdir -p "$out"
 bin="$tmp/bin"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -25,25 +31,69 @@ check_trace() {
 	echo "smoke: $name ok ($(wc -c <"$file") bytes of trace)"
 }
 
-"$bin/hierarchy" -n 48 -d 6 -trace "$tmp/hierarchy.json" >/dev/null
-check_trace hierarchy "$tmp/hierarchy.json"
+# Every binary must write a schema-stamped, non-empty metrics snapshot:
+# at minimum the host_* session gauges, so an empty counters+gauges set
+# means the session wiring is broken.
+check_metrics() {
+	name=$1
+	file=$2
+	if ! [ -s "$file" ]; then
+		echo "smoke: $name wrote no metrics snapshot to $file" >&2
+		exit 1
+	fi
+	if ! grep -q '"schema": "almostmix-metrics/v1"' "$file"; then
+		echo "smoke: $name metrics snapshot lacks the schema stamp" >&2
+		exit 1
+	fi
+	if ! grep -q '"host_session_wall_ns"' "$file"; then
+		echo "smoke: $name metrics snapshot lacks the session gauges" >&2
+		exit 1
+	fi
+	echo "smoke: $name metrics ok ($(wc -c <"$file") bytes)"
+}
 
-"$bin/routing" -quick -trace "$tmp/routing.json" >/dev/null
-check_trace routing "$tmp/routing.json"
+"$bin/hierarchy" -n 48 -d 6 -trace "$out/hierarchy.json" -metrics "$out/hierarchy-metrics.json" >/dev/null
+check_trace hierarchy "$out/hierarchy.json"
+check_metrics hierarchy "$out/hierarchy-metrics.json"
 
-"$bin/mst" -quick -trace "$tmp/mst.json" >/dev/null
-check_trace mst "$tmp/mst.json"
+"$bin/routing" -quick -trace "$out/routing.json" -metrics "$out/routing-metrics.json" >/dev/null
+check_trace routing "$out/routing.json"
+check_metrics routing "$out/routing-metrics.json"
 
-"$bin/clique" -n 32 -trace "$tmp/clique.json" >/dev/null
-check_trace clique "$tmp/clique.json"
+"$bin/mst" -quick -trace "$out/mst.json" -metrics "$out/mst-metrics.json" >/dev/null
+check_trace mst "$out/mst.json"
+check_metrics mst "$out/mst-metrics.json"
 
-"$bin/mincut" -trace "$tmp/mincut.json" >/dev/null
-check_trace mincut "$tmp/mincut.json"
+"$bin/clique" -n 32 -trace "$out/clique.json" -metrics "$out/clique-metrics.json" >/dev/null
+check_trace clique "$out/clique.json"
+check_metrics clique "$out/clique-metrics.json"
+
+"$bin/mincut" -trace "$out/mincut.json" -metrics "$out/mincut-metrics.json" >/dev/null
+check_trace mincut "$out/mincut.json"
+check_metrics mincut "$out/mincut-metrics.json"
 
 # walks traces per-round records (no cost ledger); mixing has no trace.
 # Run both at small scale to keep the drivers alive.
-"$bin/walks" -n 64 -d 6 -steps 20 -trace "$tmp/walks.json" >/dev/null
-[ -s "$tmp/walks.json" ] || { echo "smoke: walks wrote no trace" >&2; exit 1; }
+"$bin/walks" -n 64 -d 6 -steps 20 -trace "$out/walks.json" -metrics "$out/walks-metrics.json" >/dev/null
+[ -s "$out/walks.json" ] || { echo "smoke: walks wrote no trace" >&2; exit 1; }
 echo "smoke: walks ok"
-"$bin/mixing" >/dev/null
+check_metrics walks "$out/walks-metrics.json"
+
+"$bin/mixing" -metrics "$out/mixing-metrics.json" >/dev/null
 echo "smoke: mixing ok"
+check_metrics mixing "$out/mixing-metrics.json"
+
+# The span/wall pairing: an engine-bearing run with metrics on must
+# record span_wall_ns counters for its cost-ledger spans.
+if ! grep -q 'span_wall_ns{' "$out/mst-metrics.json"; then
+	echo "smoke: mst metrics snapshot lacks span_wall_ns pairing counters" >&2
+	exit 1
+fi
+echo "smoke: span/wall pairing ok"
+
+# A bad -pprof mode must fail loudly (exit code propagation).
+if "$bin/mixing" -pprof bogus >/dev/null 2>&1; then
+	echo "smoke: mixing accepted -pprof bogus" >&2
+	exit 1
+fi
+echo "smoke: pprof flag validation ok"

@@ -11,7 +11,7 @@ BENCHTIME ?= 1s
 # full-size suite (BENCHSUITE_FLAGS="" make bench-json).
 BENCHSUITE_FLAGS ?= -quick
 
-.PHONY: build vet test race check bench bench-json fuzz smoke
+.PHONY: build vet test race check bench bench-json fuzz smoke faults
 
 build:
 	go build ./...
@@ -25,7 +25,13 @@ test:
 race:
 	go test -race $(SHORT) ./...
 
-check: vet test race
+# The fault-injection suite, race-instrumented and never shortened: the
+# differential fault tests are the determinism contract for the fault
+# layer across both engines and all worker counts.
+faults:
+	go test -race -run 'Fault|Crash|Sever|Delayed' ./internal/faults ./internal/congest ./internal/randomwalk ./internal/mstbase
+
+check: vet test race faults
 
 # End-to-end smoke of every experiment driver: build each cmd/ binary, run
 # it at tiny scale with -trace, and check the trace lands non-empty.

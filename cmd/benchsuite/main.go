@@ -23,6 +23,7 @@ import (
 	"strings"
 	"testing"
 
+	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
@@ -83,6 +84,9 @@ func main() {
 	sha := flag.String("sha", "", "commit id to stamp into the filename and document (default git rev-parse --short HEAD)")
 	testing.Init()
 	flag.Parse()
+	cliutil.Min("warmup", *warmup, 0)
+	cliutil.Min("reps", *reps, 1)
+	cliutil.Writable("out", *out)
 
 	if err := run(*out, *quick, *benchtime, *warmup, *reps, *runPat, *sha); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)

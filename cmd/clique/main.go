@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"almostmix/internal/cliquemu"
+	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
@@ -29,6 +30,10 @@ func main() {
 	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
 	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
+	cliutil.Min("n", *n, 2)
+	cliutil.Writable("trace", *trace)
+	cliutil.Writable("metrics", *metricsOut)
+	cliutil.Writable("pprofout", *pprofOut)
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
 		err = run(*n, *seed, *trace, sess)
@@ -91,8 +96,9 @@ func run(n int, seed uint64, trace string, sess *metrics.Session) error {
 		hier = append(hier, float64(res.Rounds))
 	}
 	fmt.Println(t)
-	fmt.Printf("hierarchical rounds vs 1/p: log-log slope = %.2f (corollary predicts ≈ 1)\n",
-		harness.LogLogSlope(invP, hier))
+	slope, used := harness.LogLogSlope(invP, hier)
+	fmt.Printf("hierarchical rounds vs 1/p: log-log slope = %.2f (%d/%d pts, corollary predicts ≈ 1)\n",
+		slope, used, len(invP))
 	fmt.Println("Shape check: both algorithms cheapen as p (and hence h) grows; the")
 	fmt.Println("polylog-inflated hierarchical cost tracks the 1/p trend of the corollary.")
 	if sink != nil && trace != "" {

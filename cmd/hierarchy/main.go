@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
@@ -32,6 +33,13 @@ func main() {
 	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
 	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
+	cliutil.Min("n", *n, 2)
+	cliutil.Min("d", *d, 1)
+	cliutil.Min("beta", *beta, 0)
+	cliutil.Min("leaf", *leaf, 0)
+	cliutil.Writable("trace", *trace)
+	cliutil.Writable("metrics", *metricsOut)
+	cliutil.Writable("pprofout", *pprofOut)
 
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
@@ -29,6 +30,9 @@ func main() {
 	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
 	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
+	cliutil.Writable("trace", *trace)
+	cliutil.Writable("metrics", *metricsOut)
+	cliutil.Writable("pprofout", *pprofOut)
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
 		err = run(*seed, *trace, sess)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"almostmix/internal/cliutil"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
 	"almostmix/internal/metrics"
@@ -27,6 +28,8 @@ func main() {
 	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
 	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
+	cliutil.Writable("metrics", *metricsOut)
+	cliutil.Writable("pprofout", *pprofOut)
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
 		if *gnp {

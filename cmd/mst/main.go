@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
@@ -30,10 +31,19 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
 	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
 	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
+	faultSpec := flag.String("faults", "", `run the E15 GHS degradation sweep with this fault spec as its custom row, e.g. "drop=0.02" (see DESIGN.md §3); implies -ghsnet`)
+	faultSeed := flag.Uint64("faultseed", 1, "fault-injection seed for -faults (independent of -seed)")
+	attempts := flag.Int("attempts", 5, "max restarts per faulty GHS execution before declaring failure")
 	flag.Parse()
+	cliutil.Workers("workers", *workers)
+	cliutil.Min("attempts", *attempts, 1)
+	cliutil.FaultSpec("faults", *faultSpec)
+	cliutil.Writable("trace", *trace)
+	cliutil.Writable("metrics", *metricsOut)
+	cliutil.Writable("pprofout", *pprofOut)
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
-		err = run(*audit, *ghsnet, *quick, *seed, *workers, *trace, sess)
+		err = run(*audit, *ghsnet, *quick, *seed, *workers, *trace, *faultSpec, *faultSeed, *attempts, sess)
 		if cerr := sess.Close(); err == nil {
 			err = cerr
 		}
@@ -44,10 +54,13 @@ func main() {
 	}
 }
 
-func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string, sess *metrics.Session) error {
+func run(audit, ghsnet, quick bool, seed uint64, workers int, trace, faultSpec string, faultSeed uint64, attempts int, sess *metrics.Session) error {
 	var sink *congest.TraceSink
 	if trace != "" || sess.Registry() != nil {
 		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
+		ghsnet = true
+	}
+	if faultSpec != "" {
 		ghsnet = true
 	}
 	instances := []struct {
@@ -115,8 +128,11 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string, sess
 		}
 	}
 	fmt.Println(t)
-	fmt.Printf("expander scaling slopes (log-log, rounds vs n): hier %.2f, GHS %.2f, KP %.2f\n",
-		harness.LogLogSlope(ns, hierR), harness.LogLogSlope(ns, ghsR), harness.LogLogSlope(ns, kpR))
+	hierS, hierN := harness.LogLogSlope(ns, hierR)
+	ghsS, ghsN := harness.LogLogSlope(ns, ghsR)
+	kpS, kpN := harness.LogLogSlope(ns, kpR)
+	fmt.Printf("expander scaling slopes (log-log, rounds vs n): hier %.2f (%d pts), GHS %.2f (%d pts), KP %.2f (%d pts)\n",
+		hierS, hierN, ghsS, ghsN, kpS, kpN)
 	fmt.Println("Theorem 1.1's shape: the hierarchical MST's cost is governed by τ_mix")
 	fmt.Println("and polylogs (flat-ish slope), not by n or D; its constants dominate at")
 	fmt.Println("laptop n, so the observed crossover against Õ(D+√n) is extrapolated.")
@@ -140,6 +156,12 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string, sess
 		fmt.Println(nt)
 		fmt.Println("Round counts are engine-independent: -workers changes wall-clock only")
 		fmt.Println("(see DESIGN.md §3).")
+
+		if faultSpec != "" {
+			if err := runE15MST(instances[0].g, seed, workers, faultSpec, faultSeed, attempts, sink, sess); err != nil {
+				return err
+			}
+		}
 	}
 	if sink != nil && trace != "" {
 		if err := sink.WriteFile(trace); err != nil {
@@ -148,6 +170,56 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace string, sess
 		fmt.Printf("wrote per-round trace (%d round records, %d cost rows) to %s\n",
 			len(sink.Rounds.Samples), len(sink.Costs), trace)
 	}
+	return nil
+}
+
+// runE15MST measures GHS degradation under injected faults on the first
+// (smallest) expander instance: a drop-probability sweep plus the user's
+// custom spec, each run with in-protocol window retries and up to
+// `attempts` whole-computation restarts. Success means the exact MST was
+// recovered; rounds and attempts grow with the fault rate.
+func runE15MST(g *graph.Graph, seed uint64, workers int,
+	faultSpec string, faultSeed uint64, attempts int, sink *congest.TraceSink, sess *metrics.Session) error {
+	specs := []string{"", "drop=0.005", "drop=0.01", "drop=0.02"}
+	custom := true
+	for _, s := range specs {
+		if s == faultSpec {
+			custom = false
+		}
+	}
+	if custom {
+		specs = append(specs, faultSpec)
+	}
+	_, want := mst.Kruskal(g)
+	ft := harness.NewTable(
+		fmt.Sprintf("E15 — GHS degradation under faults (n=%d, attempts<=%d, faultseed=%d)",
+			g.N(), attempts, faultSeed),
+		"spec", "attempts", "rounds", "dropped", "delayed", "crash rounds", "recovered", "weight agrees")
+	for _, spec := range specs {
+		label := spec
+		if label == "" {
+			label = "(none)"
+		}
+		var probe congest.Probe
+		if sink != nil {
+			probe = sink.Label("E15 " + label)
+		}
+		stop := sess.Time("e15_ghs_" + label)
+		res, err := mstbase.GHSNetworkFaults(g, rngutil.NewSource(seed+40), workers,
+			spec, faultSeed, attempts, probe, sess.Registry())
+		stop()
+		if err != nil {
+			return err
+		}
+		ft.AddRow(label, res.Attempts, res.Rounds,
+			res.Faults.Dropped, res.Faults.Delayed, res.Faults.Crashed,
+			res.Recovered, res.Recovered && res.Weight == want)
+	}
+	fmt.Println(ft)
+	fmt.Println("Faulted windows stall and retry instead of committing corrupt merges;")
+	fmt.Println("an attempt that cannot converge restarts from scratch. Success rate and")
+	fmt.Println("rounds-to-completion degrade with the drop rate; results are")
+	fmt.Println("engine- and worker-independent.")
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
@@ -29,6 +30,9 @@ func main() {
 	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
 	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
+	cliutil.Writable("trace", *trace)
+	cliutil.Writable("metrics", *metricsOut)
+	cliutil.Writable("pprofout", *pprofOut)
 
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
@@ -130,8 +134,9 @@ func run(levels, quick bool, seed uint64, trace string, sess *metrics.Session) e
 	}
 	fmt.Println(t)
 	fmt.Println(td)
-	fmt.Printf("expander scaling: log-log slope of base rounds vs n = %.2f\n",
-		harness.LogLogSlope(ns, based))
+	slope, used := harness.LogLogSlope(ns, based)
+	fmt.Printf("expander scaling: log-log slope of base rounds vs n = %.2f (%d/%d pts)\n",
+		slope, used, len(ns))
 	fmt.Println("Theorem 1.2's shape: base/τ grows only polylogarithmically on the")
 	fmt.Println("expander family, while the lollipop's larger τ_mix dominates its cost.")
 

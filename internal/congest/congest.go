@@ -20,6 +20,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"almostmix/internal/faults"
 	"almostmix/internal/graph"
 	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
@@ -165,6 +166,11 @@ type Network struct {
 	// is the per-run state the engines consult through one nil check.
 	reg *metrics.Registry
 	ms  *metricsState
+	// faultPlan, when non-nil, injects deterministic faults at the
+	// canonical delivery point (see faultnet.go); fs is its per-run
+	// state, nil on the fault-free fast path.
+	faultPlan *faults.Plan
+	fs        *faultState
 }
 
 // NewNetwork builds a network over g where node v runs programs[v].
@@ -297,6 +303,7 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 		return n.rounds, err
 	}
 	n.probeRunStart("sequential", 1)
+	n.faultsRunStart(1)
 	ms := n.metricsRunStart(1)
 	for v, prog := range n.programs {
 		prog.Init(n.ctxs[v])
@@ -313,29 +320,13 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 		if ms != nil {
 			t0 = time.Now()
 		}
-		// Deliver round r−1's sends: each receiver scans its own ports in
-		// order, reading the matching outbox slot of the sender across
-		// each port. Messages to halted nodes are dropped.
+		// Deliver round r−1's sends through the canonical delivery point
+		// (shared with the parallel engine; see deliverTo).
 		delivered := 0
 		for u := range inboxes {
-			inboxes[u] = inboxes[u][:0]
-			if n.ctxs[u].halted {
-				continue
-			}
-			for q, h := range n.g.Neighbors(u) {
-				sender := n.ctxs[h.To]
-				sp := n.revPort[u][q]
-				if sender.sent[sp] {
-					inboxes[u] = append(inboxes[u], Inbound{
-						Port:    q,
-						From:    h.To,
-						Payload: sender.outbox[sp],
-					})
-					delivered++
-				}
-			}
+			delivered += n.deliverTo(u, inboxes, 0)
 		}
-		if quiet && r > 0 && delivered == 0 {
+		if quiet && r > 0 && delivered == 0 && n.faultsQuiet() {
 			return n.finish(nil)
 		}
 		n.rounds++
@@ -343,23 +334,60 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 		for v, prog := range n.programs {
 			ctx := n.ctxs[v]
 			ctx.clearOutbox()
-			if ctx.halted {
+			if ctx.halted || n.nodeCrashed(v) {
 				continue
 			}
 			active++
 			prog.Step(ctx, inboxes[v])
 		}
+		fc := n.faultsRoundEnd()
 		if n.probe != nil {
-			n.probeRoundFlush(inboxes, delivered, active)
+			n.probeRoundFlush(inboxes, delivered, active, fc)
 		}
 		if ms != nil {
-			ms.roundEnd(t0, delivered)
+			ms.roundEnd(t0, delivered, fc)
 		}
 	}
 	if n.allHalted() {
 		return n.finish(nil)
 	}
 	return n.finish(fmt.Errorf("after %d rounds: %w", n.rounds, ErrRoundLimit))
+}
+
+// deliverTo rebuilds node u's inbox for the round about to execute
+// (n.rounds+1, 1-based) and returns the number of messages delivered to
+// it. It is THE canonical receiver-driven delivery point: both engines
+// call it once per receiver per round, each receiver scanning its own
+// ports in order and reading the matching outbox slot of the sender
+// across each port, so delivery order is fixed regardless of engine or
+// worker count. Messages to halted nodes are dropped. When a fault plan
+// is attached this is also the single injection point (see faultnet.go);
+// w is the calling worker's shard index for the fault layer's padded
+// count slots (0 on the sequential engine).
+func (n *Network) deliverTo(u int, inboxes [][]Inbound, w int) int {
+	inbox := inboxes[u][:0]
+	if n.fs != nil {
+		inbox = n.fs.deliverFaulty(n, u, inbox, w)
+		inboxes[u] = inbox
+		return len(inbox)
+	}
+	if n.ctxs[u].halted {
+		inboxes[u] = inbox
+		return 0
+	}
+	for q, h := range n.g.Neighbors(u) {
+		sender := n.ctxs[h.To]
+		sp := n.revPort[u][q]
+		if sender.sent[sp] {
+			inbox = append(inbox, Inbound{
+				Port:    q,
+				From:    h.To,
+				Payload: sender.outbox[sp],
+			})
+		}
+	}
+	inboxes[u] = inbox
+	return len(inbox)
 }
 
 // clearOutbox resets the node's sent flags and outbox slots after a

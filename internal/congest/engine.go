@@ -115,6 +115,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 		workers = 1
 	}
 	n.probeRunStart("parallel", workers)
+	n.faultsRunStart(workers)
 	ms := n.metricsRunStart(workers)
 	for v, prog := range n.programs {
 		prog.Init(n.ctxs[v])
@@ -132,22 +133,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 	deliverPhase := func(w int) {
 		count := 0
 		for u := bounds[w]; u < bounds[w+1]; u++ {
-			inboxes[u] = inboxes[u][:0]
-			if n.ctxs[u].halted {
-				continue
-			}
-			for q, h := range n.g.Neighbors(u) {
-				sender := n.ctxs[h.To]
-				sp := n.revPort[u][q]
-				if sender.sent[sp] {
-					inboxes[u] = append(inboxes[u], Inbound{
-						Port:    q,
-						From:    h.To,
-						Payload: sender.outbox[sp],
-					})
-					count++
-				}
-			}
+			count += n.deliverTo(u, inboxes, w)
 		}
 		delivered[w*pad] = count
 	}
@@ -155,7 +141,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 		for v := bounds[w]; v < bounds[w+1]; v++ {
 			ctx := n.ctxs[v]
 			ctx.clearOutbox()
-			if ctx.halted {
+			if ctx.halted || n.nodeCrashed(v) {
 				continue
 			}
 			n.programs[v].Step(ctx, inboxes[v])
@@ -188,7 +174,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 			t0 = time.Now()
 		}
 		pool.dispatch(workers, deliver)
-		if quiet && r > 0 && sumDelivered() == 0 {
+		if quiet && r > 0 && sumDelivered() == 0 && n.faultsQuiet() {
 			return n.finish(nil)
 		}
 		n.rounds++
@@ -196,18 +182,19 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 		// the coordinator, between the deliver and step barriers.
 		active := 0
 		if n.probe != nil {
-			for _, ctx := range n.ctxs {
-				if !ctx.halted {
+			for v, ctx := range n.ctxs {
+				if !ctx.halted && !n.nodeCrashed(v) {
 					active++
 				}
 			}
 		}
 		pool.dispatch(workers, step)
+		fc := n.faultsRoundEnd()
 		if n.probe != nil {
-			n.probeRoundFlush(inboxes, sumDelivered(), active)
+			n.probeRoundFlush(inboxes, sumDelivered(), active, fc)
 		}
 		if ms != nil {
-			ms.roundEnd(t0, sumDelivered())
+			ms.roundEnd(t0, sumDelivered(), fc)
 		}
 	}
 	if n.allHalted() {

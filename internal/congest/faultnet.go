@@ -1,0 +1,185 @@
+package congest
+
+// Fault injection for the round engines. With a faults.Plan attached
+// (SetFaults), the one canonical receiver-driven delivery point —
+// Network.deliverTo, shared verbatim by the sequential and the parallel
+// engine — consults the plan per message and injects drops, duplicates
+// and delays; crashed nodes neither step nor receive while crashed. All
+// decisions are pure hashes of (plan seed, round, directed-edge slot), so
+// a fixed (seed, spec) pair reproduces a bit-identical faulty execution
+// on every engine and worker count (asserted by the differential suites).
+//
+// Contract details, mirroring the probe layer's sharding discipline:
+//
+//   - Delayed messages are buffered per receiver: fs.pending[u] is
+//     written and read only while building u's inbox, i.e. only by the
+//     worker owning u's deliver shard, so the layer adds no shared
+//     mutable state. Due delayed messages are delivered BEFORE the
+//     round's fresh messages, in enqueue order — that fixes the one
+//     canonical inbox order under faults.
+//   - A message is rolled exactly once, at its original delivery round;
+//     a delayed message delivers plainly at its due round.
+//   - A node crashed in round r (1-based, the round being executed) does
+//     not step in r, and every message that would reach it in r — fresh
+//     or due-delayed — is dropped and counted. Sends it made before
+//     crashing still deliver: they were already in flight. Messages to
+//     HALTED nodes keep the fault-free semantics (silently discarded,
+//     not counted as fault drops).
+//   - Severed edges drop both directions from the sever round on,
+//     counted as drops.
+//   - Per-round fault counts are accumulated in padded per-worker slots
+//     and drained by the coordinator between barriers (faultsRoundEnd),
+//     which also folds them into the plan totals and hands them to the
+//     probe record and the metrics counters.
+//
+// With no plan attached the engines keep a single nil check on the
+// delivery path; an attached-but-empty plan takes the fault path but
+// produces byte-identical executions and traces (asserted by tests).
+
+import "almostmix/internal/faults"
+
+// SetFaults attaches a fault-injection plan to the network (nil
+// detaches). Like SetProbe it must be called before Run; the receiver
+// returns itself so construction can chain.
+func (n *Network) SetFaults(plan *faults.Plan) *Network {
+	n.faultPlan = plan
+	return n
+}
+
+// delayedMsg is one in-flight delayed delivery, buffered at the receiver.
+type delayedMsg struct {
+	due int // 1-based round at which it delivers
+	in  Inbound
+}
+
+// faultCountStride spaces per-worker Counts (32 bytes each) a cache line
+// apart, matching the engines' padded-counter discipline.
+const faultCountStride = 2
+
+// faultState is the per-run scratch of the fault layer, allocated at run
+// start only when a plan is attached.
+type faultState struct {
+	plan    *faults.Plan
+	pending [][]delayedMsg // per receiver; single-writer per phase
+	counts  []faults.Counts
+}
+
+// faultsRunStart allocates the fault scratch for the run. workers is the
+// effective worker count (1 for the sequential engine).
+func (n *Network) faultsRunStart(workers int) {
+	if n.faultPlan == nil {
+		n.fs = nil
+		return
+	}
+	n.fs = &faultState{
+		plan:    n.faultPlan,
+		pending: make([][]delayedMsg, n.g.N()),
+		counts:  make([]faults.Counts, workers*faultCountStride),
+	}
+}
+
+// nodeCrashed reports whether node v is crashed in the current round
+// (n.rounds, already incremented when the step phase consults it).
+func (n *Network) nodeCrashed(v int) bool {
+	return n.fs != nil && n.fs.plan.Crashed(v, n.rounds)
+}
+
+// faultsQuiet reports whether the fault layer allows a quiet termination:
+// no delayed message is still in flight and no crashed node is due to
+// recover (a recovery can resume traffic from queued program state). It
+// is called by the coordinator only, between barriers.
+func (n *Network) faultsQuiet() bool {
+	if n.fs == nil {
+		return true
+	}
+	for _, pend := range n.fs.pending {
+		if len(pend) > 0 {
+			return false
+		}
+	}
+	// n.rounds is the last executed round here: the quiet check runs
+	// before the round counter advances.
+	return !n.fs.plan.RecoveringAt(n.rounds + 1)
+}
+
+// faultsRoundEnd drains the per-worker fault counts of the round just
+// executed, adds the round's crashed-node count, folds the result into
+// the plan totals and returns it for the probe record and the metrics
+// counters. Coordinator only, after the step barrier.
+func (n *Network) faultsRoundEnd() faults.Counts {
+	if n.fs == nil {
+		return faults.Counts{}
+	}
+	var c faults.Counts
+	for w := 0; w < len(n.fs.counts); w += faultCountStride {
+		c.Add(n.fs.counts[w])
+		n.fs.counts[w] = faults.Counts{}
+	}
+	c.Crashed = int64(n.fs.plan.CrashedCount(n.rounds))
+	n.fs.plan.AddCounts(c)
+	return c
+}
+
+// deliverFaulty is the fault-injecting body of deliverTo: it rebuilds
+// receiver u's inbox for round n.rounds+1, applying the plan at this one
+// point. w is the caller's worker index for the sharded count slots.
+func (fs *faultState) deliverFaulty(n *Network, u int, inbox []Inbound, w int) []Inbound {
+	round := n.rounds + 1
+	fc := &fs.counts[w*faultCountStride]
+	ctx := n.ctxs[u]
+
+	if ctx.halted {
+		// A halted node never steps again: discard anything still aimed
+		// at it, delayed or fresh, under the fault-free halted-drop rule.
+		fs.pending[u] = fs.pending[u][:0]
+		return inbox
+	}
+	crashed := fs.plan.Crashed(u, round)
+
+	// Due delayed messages first, in enqueue order.
+	kept := fs.pending[u][:0]
+	for _, d := range fs.pending[u] {
+		switch {
+		case d.due > round:
+			kept = append(kept, d)
+		case crashed:
+			fc.Dropped++
+		default:
+			inbox = append(inbox, d.in)
+		}
+	}
+	fs.pending[u] = kept
+
+	// Fresh messages, receiver-driven in port order — the same canonical
+	// scan as the fault-free path.
+	for q, h := range n.g.Neighbors(u) {
+		sender := n.ctxs[h.To]
+		sp := n.revPort[u][q]
+		if !sender.sent[sp] {
+			continue
+		}
+		if crashed || fs.plan.Severed(h.EdgeID, round) {
+			fc.Dropped++
+			continue
+		}
+		in := Inbound{Port: q, From: h.To, Payload: sender.outbox[sp]}
+		slot := 2 * h.EdgeID
+		if n.g.Edge(h.EdgeID).V == u {
+			slot++
+		}
+		fate, delay := fs.plan.MessageFate(round, slot)
+		switch fate {
+		case faults.Drop:
+			fc.Dropped++
+		case faults.Duplicate:
+			fc.Duplicated++
+			inbox = append(inbox, in, in)
+		case faults.Delay:
+			fc.Delayed++
+			fs.pending[u] = append(fs.pending[u], delayedMsg{due: round + delay, in: in})
+		default:
+			inbox = append(inbox, in)
+		}
+	}
+	return inbox
+}

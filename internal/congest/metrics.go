@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"almostmix/internal/faults"
 	"almostmix/internal/metrics"
 )
 
@@ -49,6 +50,11 @@ type metricsState struct {
 	runWall, allocs, gcCycles *metrics.Counter
 	roundHist                 *metrics.Histogram
 	msgsPerSec, roundsPerSec  *metrics.Gauge
+
+	// Fault counters, resolved only when the run has a fault plan
+	// attached (nil otherwise — the fault-free snapshot is unchanged).
+	dropped, duplicated     *metrics.Counter
+	delayedC, crashedRounds *metrics.Counter
 
 	// Parallel-engine shard accounting: busyNS[w*pad] is written only by
 	// the worker executing shard w's task (ordered against the
@@ -79,6 +85,12 @@ func (n *Network) metricsRunStart(workers int) *metricsState {
 		msgsPerSec:   reg.Gauge("congest_msgs_per_sec"),
 		roundsPerSec: reg.Gauge("congest_rounds_per_sec"),
 	}
+	if n.fs != nil {
+		ms.dropped = reg.Counter("congest_msgs_dropped_total")
+		ms.duplicated = reg.Counter("congest_msgs_duplicated_total")
+		ms.delayedC = reg.Counter("congest_msgs_delayed_total")
+		ms.crashedRounds = reg.Counter("congest_node_crash_rounds_total")
+	}
 	if workers > 1 {
 		ms.busyNS = make([]int64, workers*pad)
 		ms.busyCtr = make([]*metrics.Counter, workers)
@@ -106,7 +118,7 @@ func (ms *metricsState) timed(fn func(shard int)) func(shard int) {
 
 // roundEnd records one executed round: its wall time into the fixed
 // power-of-two histogram, plus the round and delivery counters.
-func (ms *metricsState) roundEnd(t0 time.Time, delivered int) {
+func (ms *metricsState) roundEnd(t0 time.Time, delivered int, fc faults.Counts) {
 	wall := time.Since(t0).Nanoseconds()
 	ms.roundHist.Observe(wall)
 	ms.roundWallNS += wall
@@ -114,6 +126,12 @@ func (ms *metricsState) roundEnd(t0 time.Time, delivered int) {
 	ms.deliveredRun += int64(delivered)
 	ms.rounds.Add(1)
 	ms.delivered.Add(int64(delivered))
+	if ms.dropped != nil {
+		ms.dropped.Add(fc.Dropped)
+		ms.duplicated.Add(fc.Duplicated)
+		ms.delayedC.Add(fc.Delayed)
+		ms.crashedRounds.Add(fc.Crashed)
+	}
 }
 
 // runEnd closes the run: throughput gauges, the closing memstats phase

@@ -30,7 +30,11 @@ package congest
 // handed; RoundRecord.InboxSizes and RoundRecord.EdgeLoad are buffers
 // owned by the engine, valid only during the RoundEnd call.
 
-import "fmt"
+import (
+	"fmt"
+
+	"almostmix/internal/faults"
+)
 
 // RunInfo describes a run at RunStart time.
 type RunInfo struct {
@@ -66,14 +70,22 @@ type RoundRecord struct {
 	MaxInbox     int
 	MaxInboxNode int
 	// MaxEdgeLoad is the largest per-directed-edge delivery count.
-	MaxEdgeLoad int
+	MaxEdgeLoad int64
 	// InboxSizes[v] is the number of messages delivered to node v.
 	// Borrowed: valid only during the RoundEnd call.
 	InboxSizes []int
 	// EdgeLoad[2·e+dir] is the delivery count of edge e in direction dir
-	// (dir 1 = toward the edge's V endpoint). Borrowed: valid only during
-	// the RoundEnd call.
-	EdgeLoad []int32
+	// (dir 1 = toward the edge's V endpoint). int64: analytic engines and
+	// duplication faults push per-slot counts past what int32 holds over
+	// long traced runs. Borrowed: valid only during the RoundEnd call.
+	EdgeLoad []int64
+	// Dropped, Duplicated, Delayed count fault-injected message events this
+	// round; Crashed is the number of nodes crashed during the round. All
+	// zero unless a fault plan is attached (see Network.SetFaults).
+	Dropped    int
+	Duplicated int
+	Delayed    int
+	Crashed    int
 }
 
 // Probe observes a simulator run. All hooks run on the coordinating
@@ -173,8 +185,8 @@ type phaseMark struct {
 // allocated only when a probe is attached.
 type probeState struct {
 	inboxSizes []int
-	edgeLoad   []int32
-	touched    []int32
+	edgeLoad   []int64
+	touched    []int
 }
 
 // probeRunStart announces the run and allocates the scratch buffers.
@@ -185,7 +197,7 @@ func (n *Network) probeRunStart(engine string, workers int) {
 	if n.ps == nil {
 		n.ps = &probeState{
 			inboxSizes: make([]int, n.g.N()),
-			edgeLoad:   make([]int32, 2*n.g.M()),
+			edgeLoad:   make([]int64, 2*n.g.M()),
 		}
 	}
 	n.probe.RunStart(RunInfo{
@@ -218,7 +230,7 @@ func (n *Network) probeDrainEvents() {
 // per-round hooks. It reads the inboxes built by the deliver phase (which
 // survive untouched through Step) rather than instrumenting the delivery
 // hot path, so the engines carry no per-message probe cost.
-func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int) {
+func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int, fc faults.Counts) {
 	ps := n.ps
 	rec := &RoundRecord{
 		Round:        n.rounds,
@@ -227,6 +239,10 @@ func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int) {
 		MaxInboxNode: -1,
 		InboxSizes:   ps.inboxSizes,
 		EdgeLoad:     ps.edgeLoad,
+		Dropped:      int(fc.Dropped),
+		Duplicated:   int(fc.Duplicated),
+		Delayed:      int(fc.Delayed),
+		Crashed:      int(fc.Crashed),
 	}
 	for u, inbox := range inboxes {
 		ps.inboxSizes[u] = len(inbox)
@@ -236,7 +252,7 @@ func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int) {
 		}
 		for _, in := range inbox {
 			edgeID := n.g.Neighbors(u)[in.Port].EdgeID
-			slot := int32(2 * edgeID)
+			slot := 2 * edgeID
 			if n.g.Edge(edgeID).V == u {
 				slot++
 			}
@@ -244,8 +260,8 @@ func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int) {
 				ps.touched = append(ps.touched, slot)
 			}
 			ps.edgeLoad[slot]++
-			if int(ps.edgeLoad[slot]) > rec.MaxEdgeLoad {
-				rec.MaxEdgeLoad = int(ps.edgeLoad[slot])
+			if ps.edgeLoad[slot] > rec.MaxEdgeLoad {
+				rec.MaxEdgeLoad = ps.edgeLoad[slot]
 			}
 		}
 	}

@@ -39,11 +39,17 @@ func (p *recordingProbe) NodeHalted(node, round int) {
 }
 
 func (p *recordingProbe) RoundEnd(rec *RoundRecord) {
-	p.events = append(p.events, fmt.Sprintf(
+	e := fmt.Sprintf(
 		"round=%d delivered=%d active=%d halted=%d maxInbox=%d@%d maxEdge=%d inboxes=%v edges=%v",
 		rec.Round, rec.Delivered, rec.Active, rec.Halted,
 		rec.MaxInbox, rec.MaxInboxNode, rec.MaxEdgeLoad,
-		append([]int(nil), rec.InboxSizes...), append([]int32(nil), rec.EdgeLoad...)))
+		append([]int(nil), rec.InboxSizes...), append([]int64(nil), rec.EdgeLoad...))
+	// Fault counts only when present, so fault-free want-strings stay short.
+	if rec.Dropped|rec.Duplicated|rec.Delayed|rec.Crashed != 0 {
+		e += fmt.Sprintf(" faults=%d/%d/%d/%d",
+			rec.Dropped, rec.Duplicated, rec.Delayed, rec.Crashed)
+	}
+	p.events = append(p.events, e)
 }
 
 func (p *recordingProbe) RunEnd(rounds int, err error) {

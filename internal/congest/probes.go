@@ -26,7 +26,9 @@ import (
 	"almostmix/internal/metrics"
 )
 
-// RoundSample is one exported row of a RoundTrace.
+// RoundSample is one exported row of a RoundTrace. The fault columns
+// carry omitempty tags so fault-free traces stay byte-identical to the
+// pre-fault-layer export format.
 type RoundSample struct {
 	Run          string `json:"run,omitempty"`
 	Round        int    `json:"round"`
@@ -35,7 +37,11 @@ type RoundSample struct {
 	Halted       int    `json:"halted"`
 	MaxInbox     int    `json:"max_inbox"`
 	MaxInboxNode int    `json:"max_inbox_node"`
-	MaxEdgeLoad  int    `json:"max_edge_load"`
+	MaxEdgeLoad  int64  `json:"max_edge_load"`
+	Dropped      int    `json:"dropped,omitempty"`
+	Duplicated   int    `json:"duplicated,omitempty"`
+	Delayed      int    `json:"delayed,omitempty"`
+	Crashed      int    `json:"crashed,omitempty"`
 }
 
 // RoundTrace records one RoundSample per executed round: the per-round
@@ -47,6 +53,7 @@ type RoundSample struct {
 type RoundTrace struct {
 	NopProbe
 	run     string
+	faulty  bool // any round carried fault counts → CSV grows fault columns
 	Samples []RoundSample
 }
 
@@ -56,6 +63,9 @@ func NewRoundTrace() *RoundTrace { return &RoundTrace{} }
 func (t *RoundTrace) RunStart(info RunInfo) { t.run = info.Name }
 
 func (t *RoundTrace) RoundEnd(rec *RoundRecord) {
+	if rec.Dropped|rec.Duplicated|rec.Delayed|rec.Crashed != 0 {
+		t.faulty = true
+	}
 	t.Samples = append(t.Samples, RoundSample{
 		Run:          t.run,
 		Round:        rec.Round,
@@ -65,17 +75,30 @@ func (t *RoundTrace) RoundEnd(rec *RoundRecord) {
 		MaxInbox:     rec.MaxInbox,
 		MaxInboxNode: rec.MaxInboxNode,
 		MaxEdgeLoad:  rec.MaxEdgeLoad,
+		Dropped:      rec.Dropped,
+		Duplicated:   rec.Duplicated,
+		Delayed:      rec.Delayed,
+		Crashed:      rec.Crashed,
 	})
 }
 
-// Table renders the trace as a harness table (one row per round).
+// Table renders the trace as a harness table (one row per round). The
+// fault columns appear only when some observed round carried fault
+// counts, keeping fault-free CSV exports byte-identical.
 func (t *RoundTrace) Table() *harness.Table {
-	tb := harness.NewTable("per-round trace",
-		"run", "round", "delivered", "active", "halted",
-		"max_inbox", "max_inbox_node", "max_edge_load")
+	cols := []string{"run", "round", "delivered", "active", "halted",
+		"max_inbox", "max_inbox_node", "max_edge_load"}
+	if t.faulty {
+		cols = append(cols, "dropped", "duplicated", "delayed", "crashed")
+	}
+	tb := harness.NewTable("per-round trace", cols...)
 	for _, s := range t.Samples {
-		tb.AddRow(s.Run, s.Round, s.Delivered, s.Active, s.Halted,
-			s.MaxInbox, s.MaxInboxNode, s.MaxEdgeLoad)
+		row := []any{s.Run, s.Round, s.Delivered, s.Active, s.Halted,
+			s.MaxInbox, s.MaxInboxNode, s.MaxEdgeLoad}
+		if t.faulty {
+			row = append(row, s.Dropped, s.Duplicated, s.Delayed, s.Crashed)
+		}
+		tb.AddRow(row...)
 	}
 	return tb
 }

@@ -125,10 +125,15 @@ func csvEscape(cell string) string {
 }
 
 // LogLogSlope fits ln(y) = a + s·ln(x) by least squares and returns the
-// slope s — the empirical scaling exponent of a measurement series.
-func LogLogSlope(xs, ys []float64) float64 {
-	if len(xs) != len(ys) || len(xs) < 2 {
-		return math.NaN()
+// slope s — the empirical scaling exponent of a measurement series —
+// together with the number of points actually used by the fit.
+// Non-positive samples have no logarithm and are excluded; used < len(xs)
+// tells the caller the exponent describes only part of its series rather
+// than silently fitting a subset. The slope is NaN when fewer than two
+// usable points remain (or the series lengths differ, with used = 0).
+func LogLogSlope(xs, ys []float64) (slope float64, used int) {
+	if len(xs) != len(ys) {
+		return math.NaN(), 0
 	}
 	var sx, sy, sxx, sxy float64
 	n := 0
@@ -144,14 +149,14 @@ func LogLogSlope(xs, ys []float64) float64 {
 		n++
 	}
 	if n < 2 {
-		return math.NaN()
+		return math.NaN(), n
 	}
 	fn := float64(n)
 	den := fn*sxx - sx*sx
 	if den == 0 {
-		return math.NaN()
+		return math.NaN(), n
 	}
-	return (fn*sxy - sx*sy) / den
+	return (fn*sxy - sx*sy) / den, n
 }
 
 // Mean returns the arithmetic mean (0 for empty input).

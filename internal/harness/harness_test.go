@@ -68,19 +68,33 @@ func TestLogLogSlope(t *testing.T) {
 	for i, x := range xs {
 		ys[i] = 3 * x * x
 	}
-	if s := LogLogSlope(xs, ys); math.Abs(s-2) > 1e-9 {
-		t.Fatalf("slope %v, want 2", s)
+	if s, n := LogLogSlope(xs, ys); math.Abs(s-2) > 1e-9 || n != len(xs) {
+		t.Fatalf("slope %v with %d pts, want 2 with %d", s, n, len(xs))
 	}
 	// Constants have slope 0.
-	if s := LogLogSlope(xs, []float64{5, 5, 5, 5, 5}); math.Abs(s) > 1e-9 {
+	if s, _ := LogLogSlope(xs, []float64{5, 5, 5, 5, 5}); math.Abs(s) > 1e-9 {
 		t.Fatalf("constant slope %v", s)
 	}
 	// Degenerate inputs.
-	if !math.IsNaN(LogLogSlope([]float64{1}, []float64{1})) {
-		t.Fatal("single point should be NaN")
+	if s, n := LogLogSlope([]float64{1}, []float64{1}); !math.IsNaN(s) || n != 1 {
+		t.Fatalf("single point: slope %v, used %d, want NaN, 1", s, n)
 	}
-	if !math.IsNaN(LogLogSlope(xs, []float64{0, 0, 0, 0, 0})) {
-		t.Fatal("nonpositive ys should be NaN")
+	if s, n := LogLogSlope(xs, []float64{0, 0, 0, 0, 0}); !math.IsNaN(s) || n != 0 {
+		t.Fatalf("nonpositive ys: slope %v, used %d, want NaN, 0", s, n)
+	}
+	if s, n := LogLogSlope(xs, []float64{1, 2}); !math.IsNaN(s) || n != 0 {
+		t.Fatalf("length mismatch: slope %v, used %d, want NaN, 0", s, n)
+	}
+	// Dropped samples must be visible in the used count, not silent: a
+	// zero measurement in an otherwise clean series still fits, but the
+	// caller sees 4/5 points.
+	ysDrop := []float64{3, 0, 48, 192, 768}
+	if s, n := LogLogSlope(xs, ysDrop); math.Abs(s-2) > 1e-9 || n != 4 {
+		t.Fatalf("dropped sample: slope %v, used %d, want 2, 4", s, n)
+	}
+	// Identical x values give a vertical line: NaN but a full used count.
+	if s, n := LogLogSlope([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(s) || n != 3 {
+		t.Fatalf("degenerate xs: slope %v, used %d, want NaN, 3", s, n)
 	}
 }
 
@@ -100,5 +114,31 @@ func TestStats(t *testing.T) {
 	}
 	if Mean(nil) != 0 || Max(nil) != 0 || Quantile(nil, 0.5) != 0 {
 		t.Fatal("empty input handling wrong")
+	}
+	// Single-sample series: every statistic is that sample.
+	one := []float64{7}
+	if Mean(one) != 7 || Max(one) != 7 ||
+		Quantile(one, 0) != 7 || Quantile(one, 0.5) != 7 || Quantile(one, 1) != 7 {
+		t.Fatal("single-sample statistics wrong")
+	}
+	// Negative values: Max must not default to 0.
+	neg := []float64{-3, -1, -2}
+	if Max(neg) != -1 {
+		t.Fatalf("max of negatives %v, want -1", Max(neg))
+	}
+	if Mean(neg) != -2 {
+		t.Fatalf("mean of negatives %v, want -2", Mean(neg))
+	}
+	// Quantile must not mutate its input.
+	orig := append([]float64(nil), xs...)
+	Quantile(xs, 0.5)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Quantile mutated its input")
+		}
+	}
+	// Nearest-rank boundaries on an even-length series.
+	if Quantile(xs, 0.25) != 1 || Quantile(xs, 0.75) != 3 {
+		t.Fatalf("quartiles %v, %v, want 1, 3", Quantile(xs, 0.25), Quantile(xs, 0.75))
 	}
 }

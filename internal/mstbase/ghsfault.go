@@ -1,0 +1,140 @@
+package mstbase
+
+// GHS execution under injected faults. The node program's defensive
+// machinery (window stamping, per-port dedup, poisoning, label repair —
+// see ghsnet.go) makes a faulted window stall and retry rather than
+// commit a corrupt choice, so most fault patterns heal in-run: a window
+// wrecked by drops or a crashed fragment coordinator simply reruns the
+// MWOE discovery at the next boundary with the same committed fragments.
+// The driver adds the outer retry story: each attempt's chosen edges are
+// validated against the centralized GHS oracle (weights are distinct, so
+// the MST is unique), and an attempt that stalled past its round budget
+// or — in rare multi-fault corners the in-protocol repair cannot untangle,
+// e.g. label splits straddling an uncommitted core edge — produced a
+// non-MST edge set is restarted from scratch with a derived RNG stream.
+// The whole faulty execution is a pure function of (src seed, fault spec,
+// fault seed) and bit-identical across engines and worker counts.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/faults"
+	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
+	"almostmix/internal/rngutil"
+)
+
+// FaultyMSTResult extends Result with the retry accounting of a faulty
+// run. Rounds and Iterations accumulate over all attempts.
+type FaultyMSTResult struct {
+	Result
+	// Attempts is the number of network runs executed (1 = the first
+	// attempt already produced the MST).
+	Attempts int
+	// Recovered reports whether the final attempt's edge set is exactly
+	// the MST. When false, Edges and Weight are zero — the attempt budget
+	// ran out before the algorithm converged.
+	Recovered bool
+	// Faults aggregates the injected fault events over all attempts.
+	Faults faults.Counts
+}
+
+// GHSNetworkFaults runs the node-program synchronous Borůvka under the
+// fault plan built from (spec, faultSeed), restarting the computation for
+// up to maxAttempts network runs (maxAttempts < 1 means 1). An empty spec
+// reduces to a plain fault-free run with retry accounting around it.
+// Weights should be distinct.
+func GHSNetworkFaults(g *graph.Graph, src *rngutil.Source, workers int,
+	spec string, faultSeed uint64, maxAttempts int, probe congest.Probe, reg *metrics.Registry) (*FaultyMSTResult, error) {
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("mstbase: %w", graph.ErrDisconnected)
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	ref, err := GHS(g)
+	if err != nil {
+		return nil, err
+	}
+	want := append([]int(nil), ref.Edges...)
+	sort.Ints(want)
+
+	faultSrc := rngutil.NewSource(faultSeed)
+	res := &FaultyMSTResult{}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		plan, err := faults.Parse(spec, faultSrc.Derive("attempt", uint64(attempt)))
+		if err != nil {
+			return nil, fmt.Errorf("mstbase: faults: %w", err)
+		}
+		ghsSrc := src
+		if attempt > 0 {
+			ghsSrc = src.Child("ghs-retry", uint64(attempt))
+		}
+		run := &ghsRun{window: 3*g.N() + 6, faulty: !plan.Empty()}
+		nodes := make([]*ghsNode, g.N())
+		net := congest.NewUniformNetwork(g, func(v int) congest.Program {
+			nodes[v] = &ghsNode{run: run}
+			return nodes[v]
+		}, ghsSrc).SetWorkers(workers).SetProbe(probe).SetMetrics(reg).SetFaults(plan)
+		iterBudget := 2*log2int(g.N()) + 4
+		budget := run.window*iterBudget + 2
+		if run.faulty {
+			// Faulted windows stall and retry, delays stretch phases, and
+			// crashed nodes sit out until recovery: give headroom.
+			budget = run.window*(iterBudget+6) + plan.MaxDelay() + plan.RecoverySlack()
+		}
+		rounds, err := net.Run(budget)
+		if err != nil && !errors.Is(err, congest.ErrRoundLimit) {
+			return nil, fmt.Errorf("mstbase: GHSNetworkFaults: %w", err)
+		}
+		res.Rounds += rounds
+		res.Iterations += (rounds + run.window - 1) / run.window
+		res.Faults.Add(plan.Totals())
+		res.Attempts++
+
+		// A round-limited attempt is not necessarily a failure: when the
+		// "none" decision is partially dropped, some nodes halt while the
+		// rest stall against their silence — with the MST already chosen.
+		// The oracle check, not the error, decides.
+		got := chosenEdges(nodes)
+		if intsEqual(got, want) {
+			res.Recovered = true
+			res.Edges = got
+			res.Weight = g.TotalWeight(got)
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// chosenEdges collects the deduplicated, sorted union of the MST edges
+// the nodes selected as owning endpoints.
+func chosenEdges(nodes []*ghsNode) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for _, node := range nodes {
+		for _, id := range node.chosen {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

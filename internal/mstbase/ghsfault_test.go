@@ -1,0 +1,148 @@
+package mstbase
+
+// Tests of GHS under injected faults: the empty spec must reduce to the
+// plain fault-free run, faulty executions must converge to the exact MST
+// (validated against Kruskal) bit-identically across engines and worker
+// counts, and a crashed fragment coordinator must be survivable via the
+// window-retry / restart machinery.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"almostmix/internal/faults"
+	"almostmix/internal/graph"
+	"almostmix/internal/mst"
+	"almostmix/internal/rngutil"
+)
+
+func ghsFaultGraph(seed uint64) *graph.Graph {
+	r := rngutil.NewRand(seed)
+	g := graph.RandomRegular(24, 4, r)
+	g.AssignDistinctRandomWeights(r)
+	return g
+}
+
+// TestGHSFaultsEmptySpec: with no fault spec, GHSNetworkFaults is
+// GHSNetwork plus inert accounting — same tree, rounds, one attempt.
+func TestGHSFaultsEmptySpec(t *testing.T) {
+	g := ghsFaultGraph(3)
+	plain, err := GHSNetwork(g, rngutil.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainEdges := append([]int(nil), plain.Edges...)
+	sort.Ints(plainEdges)
+
+	for _, workers := range []int{1, 2, 8} {
+		res, err := GHSNetworkFaults(g, rngutil.NewSource(3), workers, "", 7, 3, nil, nil)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !res.Recovered || res.Attempts != 1 {
+			t.Fatalf("workers %d: recovered=%v attempts=%d, want true/1", workers, res.Recovered, res.Attempts)
+		}
+		if res.Rounds != plain.Rounds || res.Weight != plain.Weight ||
+			!reflect.DeepEqual(res.Edges, plainEdges) {
+			t.Errorf("workers %d: (rounds=%d weight=%v) differs from fault-free (rounds=%d weight=%v)",
+				workers, res.Rounds, res.Weight, plain.Rounds, plain.Weight)
+		}
+	}
+}
+
+// TestGHSFaultsConvergesToMST: under drops, duplication and delays the
+// faulty execution must still land the exact MST, and the whole result —
+// rounds, attempts, fault totals, tree — must be bit-identical across
+// worker counts.
+func TestGHSFaultsConvergesToMST(t *testing.T) {
+	specs := []string{
+		"drop=0.02",
+		"drop=0.03,dup=0.03,delay=0.03:2",
+	}
+	for _, spec := range specs {
+		g := ghsFaultGraph(11)
+		_, wantWeight := mst.Kruskal(g)
+
+		run := func(workers int) *FaultyMSTResult {
+			res, err := GHSNetworkFaults(g, rngutil.NewSource(11), workers, spec, 5, 8, nil, nil)
+			if err != nil {
+				t.Fatalf("%s workers %d: %v", spec, workers, err)
+			}
+			return res
+		}
+		want := run(1)
+		if !want.Recovered {
+			t.Fatalf("%s: did not recover the MST in %d attempts (faults %+v)",
+				spec, want.Attempts, want.Faults)
+		}
+		if want.Weight != wantWeight {
+			t.Fatalf("%s: recovered weight %v, Kruskal %v", spec, want.Weight, wantWeight)
+		}
+		if want.Faults == (faults.Counts{}) {
+			t.Fatalf("%s: no faults injected; test exercises nothing", spec)
+		}
+		for _, workers := range []int{2, 8} {
+			if got := run(workers); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers %d: result diverges from sequential\n got %+v\nwant %+v",
+					spec, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestGHSFaultsCoordinatorCrash: crashing nodes mid-run — including
+// stretches long enough to take out a fragment coordinator across a
+// window boundary — must be survivable: the affected windows stall and
+// retry after recovery, and the run still produces the exact MST.
+func TestGHSFaultsCoordinatorCrash(t *testing.T) {
+	g := ghsFaultGraph(29)
+	_, wantWeight := mst.Kruskal(g)
+	// Node 23 is the largest ID, hence the root of whatever fragment it
+	// merges into; knock it out across two window boundaries.
+	w := 3*g.N() + 6
+	spec := fmt.Sprintf("crash=23@2+%d,crash=5@%d+%d", 2*w, w+3, w)
+
+	run := func(workers int) *FaultyMSTResult {
+		res, err := GHSNetworkFaults(g, rngutil.NewSource(29), workers, spec, 13, 8, nil, nil)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	if !want.Recovered || want.Weight != wantWeight {
+		t.Fatalf("crash run: recovered=%v weight=%v (want %v) after %d attempts, faults %+v",
+			want.Recovered, want.Weight, wantWeight, want.Attempts, want.Faults)
+	}
+	if want.Faults.Crashed == 0 {
+		t.Fatal("no crash rounds recorded; spec exercised nothing")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers %d: result diverges from sequential", workers)
+		}
+	}
+}
+
+// TestGHSFaultsUnrecoverable: a permanently severed link starves the
+// fragment-ID exchange forever; every attempt must burn its budget and
+// the driver must report the failure honestly instead of fabricating a
+// tree.
+func TestGHSFaultsUnrecoverable(t *testing.T) {
+	g := ghsFaultGraph(7)
+	res, err := GHSNetworkFaults(g, rngutil.NewSource(7), 1, "sever=0@1", 3, 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered {
+		t.Fatal("recovered an MST with a permanently severed edge starving the exchange")
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts %d, want the full budget 2", res.Attempts)
+	}
+	if len(res.Edges) != 0 || res.Weight != 0 {
+		t.Errorf("unrecovered result carries edges/weight: %v/%v", res.Edges, res.Weight)
+	}
+}

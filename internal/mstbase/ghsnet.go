@@ -56,6 +56,16 @@ type (
 	ghsDecision struct{ Cand ghsCandidate }
 	ghsMergeReq struct{}
 	ghsAdopt    struct{ Frag int32 }
+
+	// ghsWin wraps every payload with its window index on faulty runs, so
+	// a delayed message straggling across a window boundary is recognized
+	// and discarded instead of corrupting the next window's counters. The
+	// discard matches fault-free semantics: the boundary step never reads
+	// its inbox, so a message crossing a boundary is already lost.
+	ghsWin struct {
+		Win  int32
+		Body congest.Message
+	}
 )
 
 // ghsNode is the per-node program state.
@@ -86,6 +96,23 @@ type ghsNode struct {
 	newFrag     int32
 	complete    bool
 	pendingSend []pendingMsg
+
+	// Faulty-run extras, inert when run.faulty is false. curWin/lastWin
+	// track the window index so stamped messages can be produced and a
+	// boundary missed while crashed can be detected. poisoned marks a
+	// window in which this node observed an inconsistency (label split
+	// across a tree edge, report from an unexpected port, recovery
+	// mid-window): a poisoned node abstains from reporting, which stalls
+	// its fragment's decision for the window — the window retries cleanly
+	// after the next boundary instead of committing a corrupt choice.
+	// repairFrag heals label splits: the largest conflicting fragment ID
+	// seen across a tree edge is adopted at the next boundary, converging
+	// a split component back to a single label one tree hop per window.
+	curWin     int32
+	lastWin    int32
+	poisoned   bool
+	repairFrag int32
+	gotReport  []bool // per-port report dedup, allocated on faulty runs
 }
 
 type pendingMsg struct {
@@ -96,6 +123,10 @@ type pendingMsg struct {
 // ghsRun holds shared run metadata. It is read-only during the run.
 type ghsRun struct {
 	window int
+	// faulty enables the defensive machinery (window stamping, dedup,
+	// poisoning, label repair). Off by default so fault-free executions
+	// stay byte-identical to the plain algorithm.
+	faulty bool
 }
 
 func noneCandidate() ghsCandidate {
@@ -130,6 +161,11 @@ func (p *ghsNode) resetWindow(ctx *congest.Ctx) {
 	p.newParent = -1
 	p.newFrag = -1
 	p.pendingSend = p.pendingSend[:0]
+	p.poisoned = false
+	p.repairFrag = -1
+	if p.run.faulty {
+		p.gotReport = make([]bool, ctx.Degree())
+	}
 }
 
 // send queues a message; at most one per port is flushed per round, which
@@ -147,7 +183,11 @@ func (p *ghsNode) flush(ctx *congest.Ctx) {
 			continue
 		}
 		usedPort[m.port] = true
-		ctx.Send(m.port, m.payload)
+		if p.run.faulty {
+			ctx.Send(m.port, ghsWin{Win: p.curWin, Body: m.payload})
+		} else {
+			ctx.Send(m.port, m.payload)
+		}
 	}
 	p.pendingSend = rest
 }
@@ -155,6 +195,7 @@ func (p *ghsNode) flush(ctx *congest.Ctx) {
 func (p *ghsNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
 	w := p.run.window
 	offset := (ctx.Round() - 1) % w
+	p.curWin = int32((ctx.Round() - 1) / w)
 
 	if offset == 0 {
 		// Window boundary: commit the previous window's merge, halt if
@@ -165,20 +206,13 @@ func (p *ghsNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
 		if ctx.ID() == 0 && ctx.Tracing() {
 			ctx.Mark(fmt.Sprintf("window %d", (ctx.Round()-1)/w))
 		}
-		if p.adopted {
-			p.frag = p.newFrag
-			p.parentPort = p.newParent
-			for port, m := range p.mergedPort {
-				if m {
-					p.treePort[port] = true
-				}
-			}
-		}
+		p.commitWindow(ctx)
 		if p.complete {
 			ctx.Halt()
 			return
 		}
 		p.resetWindow(ctx)
+		p.lastWin = p.curWin
 		for port := 0; port < ctx.Degree(); port++ {
 			p.send(port, ghsFragID{Frag: p.frag})
 		}
@@ -186,24 +220,101 @@ func (p *ghsNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
 		return
 	}
 
+	if p.run.faulty && p.curWin != p.lastWin {
+		// A crash carried this node across a window boundary: its scratch
+		// still describes the old window and its neighbors never got its
+		// fragment ID. Commit what the old window concluded, resync, and
+		// sit the rest of this window out — the neighborhood stalls on the
+		// missing fragment ID anyway and retries at the next boundary.
+		p.commitWindow(ctx)
+		if p.complete {
+			ctx.Halt()
+			return
+		}
+		p.resetWindow(ctx)
+		p.lastWin = p.curWin
+		p.poisoned = true
+	}
+
 	for _, in := range inbox {
+		if p.run.faulty {
+			wm, ok := in.Payload.(ghsWin)
+			if !ok {
+				panic(fmt.Sprintf("mstbase: node %d got unstamped %T", ctx.ID(), in.Payload))
+			}
+			if wm.Win != p.curWin {
+				continue // straggler from another window
+			}
+			in.Payload = wm.Body
+		}
 		p.handle(ctx, in)
 	}
 	p.maybeReport(ctx, offset)
 	p.flush(ctx)
 }
 
+// commitWindow applies the previous window's merge outcome and, on faulty
+// runs, the label repair: a node that saw a larger fragment ID across one
+// of its tree edges adopts it, converging a label-split component back to
+// one ID a tree hop per window.
+func (p *ghsNode) commitWindow(ctx *congest.Ctx) {
+	if p.adopted {
+		p.frag = p.newFrag
+		p.parentPort = p.newParent
+		for port, m := range p.mergedPort {
+			if m {
+				p.treePort[port] = true
+			}
+		}
+	}
+	if p.run.faulty && p.repairFrag > p.frag {
+		p.frag = p.repairFrag
+	}
+}
+
 func (p *ghsNode) handle(ctx *congest.Ctx, in congest.Inbound) {
 	switch msg := in.Payload.(type) {
 	case ghsFragID:
+		// Count each port once: fault-free every neighbor sends exactly
+		// one ID per window, so this is a no-op; under duplication it
+		// keeps gotFrag honest.
+		if p.nbrFrag[in.Port] == -1 {
+			p.gotFrag++
+		}
 		p.nbrFrag[in.Port] = msg.Frag
-		p.gotFrag++
+		if p.run.faulty && p.treePort[in.Port] && msg.Frag != p.frag {
+			// Label split across a committed tree edge (an adoption wave
+			// was cut short by a fault). Stall this window and heal
+			// toward the larger label at the next boundary.
+			p.poisoned = true
+			if msg.Frag > p.repairFrag {
+				p.repairFrag = msg.Frag
+			}
+		}
 	case ghsReport:
+		if p.run.faulty {
+			if !p.treePort[in.Port] || in.Port == p.parentPort {
+				// A report from a port this node does not consider a
+				// child edge: tree-topology asymmetry left by a fault.
+				// Ignore it and stall rather than corrupt childWait.
+				p.poisoned = true
+				return
+			}
+			if p.gotReport[in.Port] {
+				return // duplicate
+			}
+			p.gotReport[in.Port] = true
+		}
 		if msg.Cand.better(p.bestCand) {
 			p.bestCand = msg.Cand
 		}
 		p.childWait--
 	case ghsDecision:
+		if p.run.faulty && in.Port != p.parentPort {
+			// Fault-free, decisions only flow parent → child.
+			p.poisoned = true
+			return
+		}
 		p.applyDecision(ctx, msg.Cand)
 	case ghsMergeReq:
 		p.mergedPort[in.Port] = true
@@ -240,11 +351,17 @@ func (p *ghsNode) maybeReport(ctx *congest.Ctx, offset int) {
 	if p.reported || offset < 1 || p.gotFrag < ctx.Degree() || p.childWait > 0 {
 		return
 	}
+	if p.poisoned {
+		// This window's counters are suspect: abstain. The missing report
+		// stalls the fragment's decision, and the window retries after
+		// the next boundary instead of committing a corrupt choice.
+		return
+	}
 	p.reported = true
 	// Fold in the local candidate: the lightest incident edge leaving
 	// the fragment.
 	for port := 0; port < ctx.Degree(); port++ {
-		if p.nbrFrag[port] == p.frag {
+		if p.nbrFrag[port] == p.frag || p.nbrFrag[port] == -1 {
 			continue
 		}
 		cand := ghsCandidate{

@@ -1,0 +1,151 @@
+package randomwalk
+
+// Walk execution under injected faults, with the minimal retry story the
+// fault model calls for: tokens are identified by (origin, sequence), an
+// attempt runs until the network falls silent (RunUntilQuiet — the
+// silence timeout: with the fault layer's quiet rules, silence means no
+// token is in flight or delayed and no crashed node is due to recover),
+// and every issued token that was not absorbed by then is a casualty of a
+// drop / sever / crash and is re-issued from its origin on the next
+// attempt. Each attempt is a fresh single-use Network sharing the probe
+// and metrics registry (both are multi-run aware); the walk RNG of
+// attempt k > 0 derives from src.Child("walk-retry", k) so the whole
+// faulty execution stays a pure function of (src seed, fault spec, fault
+// seed).
+
+import (
+	"fmt"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/faults"
+	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
+	"almostmix/internal/rngutil"
+)
+
+// FaultyWalkResult extends NetworkWalkResult with the retry accounting of
+// a faulty run. Rounds and Messages accumulate over all attempts.
+type FaultyWalkResult struct {
+	NetworkWalkResult
+	// Attempts is the number of network runs executed (1 = first attempt
+	// already delivered every token).
+	Attempts int
+	// Reissued counts tokens re-issued after being lost to faults.
+	Reissued int
+	// Lost counts tokens still unabsorbed when the attempt budget ran
+	// out; 0 means every walk completed.
+	Lost int
+	// Faults aggregates the injected fault events over all attempts.
+	Faults faults.Counts
+}
+
+// RunNetworkFaults runs the node-program walks under the fault plan built
+// from (spec, faultSeed), re-issuing lost tokens for up to maxAttempts
+// network runs (maxAttempts < 1 means 1). An empty spec reduces to a
+// plain RunNetworkObserved run with retry accounting around it. The
+// result is bit-identical across engines and worker counts for a fixed
+// (src, spec, faultSeed).
+func RunNetworkFaults(g *graph.Graph, counts []int, steps int, src *rngutil.Source, workers int,
+	spec string, faultSeed uint64, maxAttempts int, probe congest.Probe, reg *metrics.Registry) (*FaultyWalkResult, error) {
+	if len(counts) != g.N() {
+		panic(fmt.Sprintf("randomwalk: %d counts for %d nodes", len(counts), g.N()))
+	}
+	if steps < 0 {
+		panic("randomwalk: negative step count")
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	faultSrc := rngutil.NewSource(faultSeed)
+
+	res := &FaultyWalkResult{}
+	res.ArrivedAt = make([]int, g.N())
+
+	// outstanding tracks every issued-but-unabsorbed token; issue[v] and
+	// seqBase[v] describe the tokens node v injects on the next attempt.
+	outstanding := make(map[tokenID]struct{})
+	nextSeq := make([]int, g.N())
+	issue := make([]int, g.N())
+	for v, c := range counts {
+		issue[v] = c
+		for s := 0; s < c; s++ {
+			outstanding[tokenID{int32(v), int32(s)}] = struct{}{}
+		}
+		nextSeq[v] = c
+	}
+
+	for attempt := 0; attempt < maxAttempts && len(outstanding) > 0; attempt++ {
+		plan, err := faults.Parse(spec, faultSrc.Derive("attempt", uint64(attempt)))
+		if err != nil {
+			return nil, fmt.Errorf("randomwalk: faults: %w", err)
+		}
+		walkSrc := src
+		if attempt > 0 {
+			walkSrc = src.Child("walk-retry", uint64(attempt))
+		}
+		absorbed := make([][]tokenID, g.N())
+		scratch := make([]int, g.N()) // attempt-local arrival counters
+		seqBase := make([]int, g.N())
+		issuing := 0
+		for v := range issue {
+			seqBase[v] = nextSeq[v] - issue[v]
+			issuing += issue[v]
+		}
+		attemptCounts := append([]int(nil), issue...)
+		net := congest.NewUniformNetwork(g, func(v int) congest.Program {
+			return &walkNode{
+				steps:    steps,
+				counts:   attemptCounts,
+				arrived:  scratch,
+				seqBase:  seqBase,
+				absorbed: absorbed,
+			}
+		}, walkSrc).SetWorkers(workers).SetProbe(probe).SetMetrics(reg).SetFaults(plan)
+		// Fault-free, total hops bound the makespan; delays and crash
+		// recoveries stretch it by their worst-case slack.
+		budget := issuing*steps + 4 + steps*plan.MaxDelay() + plan.RecoverySlack()
+		rounds, err := net.RunUntilQuiet(budget)
+		if err != nil {
+			return nil, fmt.Errorf("randomwalk: faulty network walk: %w", err)
+		}
+		res.Rounds += rounds
+		res.Messages += net.Messages()
+		res.Faults.Add(plan.Totals())
+		res.Attempts++
+
+		// Reconcile: first absorption of an outstanding token counts;
+		// duplicate arrivals of already-settled tokens are ignored.
+		for v, ids := range absorbed {
+			for _, id := range ids {
+				if _, open := outstanding[id]; open {
+					delete(outstanding, id)
+					res.ArrivedAt[v]++
+				}
+			}
+		}
+		// Whatever is still outstanding was lost: re-issue it from its
+		// origin on the next attempt. The lost IDs are retired and fresh
+		// sequence numbers minted, so a straggling duplicate of a lost
+		// token can never masquerade as its replacement.
+		for v := range issue {
+			issue[v] = 0
+		}
+		for id := range outstanding {
+			issue[id.Origin]++
+		}
+		if len(outstanding) == 0 || attempt+1 == maxAttempts {
+			continue // loop condition ends the run; Lost reads outstanding
+		}
+		fresh := make(map[tokenID]struct{}, len(outstanding))
+		for v, c := range issue {
+			for s := 0; s < c; s++ {
+				fresh[tokenID{int32(v), int32(nextSeq[v] + s)}] = struct{}{}
+			}
+			nextSeq[v] += c
+		}
+		res.Reissued += len(outstanding)
+		outstanding = fresh
+	}
+	res.Lost = len(outstanding)
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package randomwalk
+
+// Tests of the faulty walk driver: an empty fault spec must reduce to the
+// plain fault-free run, and under real message loss the retry loop must
+// recover every token — deterministically, with bit-identical results
+// across engines and worker counts.
+
+import (
+	"reflect"
+	"testing"
+
+	"almostmix/internal/faults"
+	"almostmix/internal/graph"
+	"almostmix/internal/rngutil"
+)
+
+// TestRunNetworkFaultsEmptySpec: with no fault spec, RunNetworkFaults is
+// RunNetwork plus inert accounting — same arrivals, rounds, messages, one
+// attempt, nothing re-issued or lost.
+func TestRunNetworkFaultsEmptySpec(t *testing.T) {
+	g := graph.RandomRegular(48, 4, rngutil.NewRand(21))
+	counts := UniformCountTimesDegree(g, 1)
+	const steps = 8
+
+	plain, err := RunNetwork(g, counts, steps, rngutil.NewSource(21), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		faulty, err := RunNetworkFaults(g, counts, steps, rngutil.NewSource(21), workers,
+			"", 7, 3, nil, nil)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(faulty.ArrivedAt, plain.ArrivedAt) {
+			t.Errorf("workers %d: arrivals differ from fault-free run", workers)
+		}
+		if faulty.Rounds != plain.Rounds || faulty.Messages != plain.Messages {
+			t.Errorf("workers %d: rounds/messages %d/%d, want %d/%d",
+				workers, faulty.Rounds, faulty.Messages, plain.Rounds, plain.Messages)
+		}
+		if faulty.Attempts != 1 || faulty.Reissued != 0 || faulty.Lost != 0 {
+			t.Errorf("workers %d: attempts/reissued/lost = %d/%d/%d, want 1/0/0",
+				workers, faulty.Attempts, faulty.Reissued, faulty.Lost)
+		}
+		if faulty.Faults != (faults.Counts{}) {
+			t.Errorf("workers %d: fault counts %+v on empty plan", workers, faulty.Faults)
+		}
+	}
+}
+
+// TestRunNetworkFaultsRecoversTokens: under a genuinely lossy plan the
+// retry loop must eventually land every token (total arrivals = total
+// issued, Lost = 0), re-issuing at least one along the way, and the whole
+// execution — arrivals, rounds, messages, attempts, fault totals — must be
+// bit-identical across worker counts.
+func TestRunNetworkFaultsRecoversTokens(t *testing.T) {
+	g := graph.RandomRegular(32, 4, rngutil.NewRand(5))
+	counts := UniformCountTimesDegree(g, 1)
+	const steps = 10
+	const spec = "drop=0.08,dup=0.05,delay=0.08:2"
+
+	run := func(workers int) *FaultyWalkResult {
+		res, err := RunNetworkFaults(g, counts, steps, rngutil.NewSource(5), workers,
+			spec, 11, 12, nil, nil)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+
+	issued := 0
+	for _, c := range counts {
+		issued += c
+	}
+	got := 0
+	for _, c := range want.ArrivedAt {
+		got += c
+	}
+	if got != issued || want.Lost != 0 {
+		t.Fatalf("recovered %d of %d tokens, lost %d — retry loop failed", got, issued, want.Lost)
+	}
+	if want.Faults.Dropped == 0 {
+		t.Fatalf("no drops injected; test exercises nothing (faults %+v)", want.Faults)
+	}
+	if want.Reissued == 0 || want.Attempts < 2 {
+		t.Fatalf("attempts %d, reissued %d — expected at least one retry under drops",
+			want.Attempts, want.Reissued)
+	}
+
+	for _, workers := range []int{2, 8} {
+		if res := run(workers); !reflect.DeepEqual(res, want) {
+			t.Errorf("workers %d: result diverges from sequential\n got %+v\nwant %+v",
+				workers, res, want)
+		}
+	}
+}
+
+// TestRunNetworkFaultsExhaustsAttempts: with total loss and a capped
+// attempt budget, the driver must stop at the cap and report everything
+// still outstanding as lost rather than spinning.
+func TestRunNetworkFaultsExhaustsAttempts(t *testing.T) {
+	g := graph.Path(4)
+	counts := []int{2, 0, 0, 0}
+	res, err := RunNetworkFaults(g, counts, 3, rngutil.NewSource(1), 1,
+		"drop=1.0", 3, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 4 {
+		t.Errorf("attempts %d, want the full budget 4", res.Attempts)
+	}
+	if res.Lost != 2 {
+		t.Errorf("lost %d tokens, want all 2", res.Lost)
+	}
+	if res.Reissued != 6 {
+		t.Errorf("reissued %d, want 2 per non-final attempt = 6", res.Reissued)
+	}
+	for v, c := range res.ArrivedAt {
+		if c != 0 {
+			t.Errorf("node %d absorbed %d tokens under total loss", v, c)
+		}
+	}
+}

@@ -19,9 +19,16 @@ import (
 	"almostmix/internal/rngutil"
 )
 
-// walkToken is the message payload: the number of hops the token still has
-// to make after the current delivery.
-type walkToken struct{ Left int32 }
+// walkToken is the message payload: the number of hops the token still
+// has to make after the current delivery, plus the token's identity
+// (origin node and per-origin sequence number). Identity is inert on
+// fault-free runs; the faulty-run driver (RunNetworkFaults) uses it to
+// recognize which tokens were absorbed and re-issue the lost ones.
+type walkToken struct {
+	Left   int32
+	Origin int32
+	Seq    int32
+}
 
 // NetworkWalkResult is the outcome of a node-program walk execution.
 type NetworkWalkResult struct {
@@ -44,25 +51,48 @@ type walkNode struct {
 	counts  []int
 	arrived []int // shared, but each node writes only its own index
 	queues  [][]walkToken
+
+	// Faulty-run extras, nil on fault-free runs: seqBase[v] is the first
+	// sequence number of node v's freshly issued tokens this attempt, and
+	// absorbed[v] collects the identities of tokens absorbed at v (each
+	// node appends only to its own slice, preserving the single-writer
+	// sharding).
+	seqBase  []int
+	absorbed [][]tokenID
 }
+
+// tokenID identifies one issued walk token across retry attempts.
+type tokenID struct{ Origin, Seq int32 }
 
 func (p *walkNode) Init(ctx *congest.Ctx) {
 	p.queues = make([][]walkToken, ctx.Degree())
+	base := 0
+	if p.seqBase != nil {
+		base = p.seqBase[ctx.ID()]
+	}
 	for i := 0; i < p.counts[ctx.ID()]; i++ {
-		p.route(ctx, int32(p.steps))
+		p.route(ctx, walkToken{
+			Left:   int32(p.steps),
+			Origin: int32(ctx.ID()),
+			Seq:    int32(base + i),
+		})
 	}
 	p.flush(ctx)
 }
 
 // route absorbs a token with no hops left, or queues it on a uniformly
 // random port. Isolated nodes absorb immediately.
-func (p *walkNode) route(ctx *congest.Ctx, left int32) {
-	if left == 0 || ctx.Degree() == 0 {
+func (p *walkNode) route(ctx *congest.Ctx, tok walkToken) {
+	if tok.Left == 0 || ctx.Degree() == 0 {
 		p.arrived[ctx.ID()]++
+		if p.absorbed != nil {
+			p.absorbed[ctx.ID()] = append(p.absorbed[ctx.ID()], tokenID{tok.Origin, tok.Seq})
+		}
 		return
 	}
 	port := ctx.Rand().IntN(ctx.Degree())
-	p.queues[port] = append(p.queues[port], walkToken{Left: left - 1})
+	tok.Left--
+	p.queues[port] = append(p.queues[port], tok)
 }
 
 // flush sends the head token of every nonempty port queue.
@@ -81,7 +111,7 @@ func (p *walkNode) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
 		if !ok {
 			panic(fmt.Sprintf("randomwalk: node %d got %T", ctx.ID(), in.Payload))
 		}
-		p.route(ctx, tok.Left)
+		p.route(ctx, tok)
 	}
 	p.flush(ctx)
 }

@@ -38,7 +38,7 @@ func TestAnalyticTraceMatchesStats(t *testing.T) {
 	}
 	maxTokens := 0
 	for i, s := range trace.Samples {
-		if s.MaxEdgeLoad != res.Stats.PerStepMaxLoad[i] {
+		if s.MaxEdgeLoad != int64(res.Stats.PerStepMaxLoad[i]) {
 			t.Fatalf("step %d: trace max_edge_load %d != Stats.PerStepMaxLoad %d",
 				i, s.MaxEdgeLoad, res.Stats.PerStepMaxLoad[i])
 		}

@@ -124,8 +124,8 @@ func Run(g *graph.Graph, sources []int32, cfg Config, rng *rand.Rand) *Result {
 	res.Stats.PerStepMaxLoad = make([]int, cfg.Steps)
 
 	delta := g.MaxDegree()
-	edgeLoad := make([]int32, 2*g.M()) // directed: 2*id + dir
-	touched := make([]int32, 0, nWalks)
+	edgeLoad := make([]int64, 2*g.M()) // directed: 2*id + dir
+	touched := make([]int, 0, nWalks)
 	tokensAt := make([]int32, g.N())
 	for _, s := range sources {
 		tokensAt[s]++
@@ -152,7 +152,7 @@ func Run(g *graph.Graph, sources []int32, cfg Config, rng *rand.Rand) *Result {
 				if g.Edge(edgeID).V == next {
 					dir = 1
 				}
-				slot := int32(2*edgeID + dir)
+				slot := 2*edgeID + dir
 				if edgeLoad[slot] == 0 {
 					touched = append(touched, slot)
 				}
@@ -191,7 +191,7 @@ func Run(g *graph.Graph, sources []int32, cfg Config, rng *rand.Rand) *Result {
 				Delivered:    moves,
 				Active:       nWalks,
 				MaxInboxNode: -1,
-				MaxEdgeLoad:  maxLoad,
+				MaxEdgeLoad:  int64(maxLoad),
 				InboxSizes:   inboxBuf,
 				EdgeLoad:     edgeLoad,
 			}

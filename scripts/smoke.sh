@@ -97,3 +97,55 @@ if "$bin/mixing" -pprof bogus >/dev/null 2>&1; then
 	exit 1
 fi
 echo "smoke: pprof flag validation ok"
+
+# E15 at quick scale: the fault-injection degradation sweep must run and
+# its fault counters must land in both the metrics snapshot and the trace.
+"$bin/walks" -n 48 -d 6 -steps 10 -faults 'drop=0.05' \
+	-trace "$out/walks-faults.json" -metrics "$out/walks-faults-metrics.json" >/dev/null
+[ -s "$out/walks-faults.json" ] || { echo "smoke: faulty walks wrote no trace" >&2; exit 1; }
+if ! grep -q '"dropped"' "$out/walks-faults.json"; then
+	echo "smoke: faulty walks trace lacks fault counters" >&2
+	exit 1
+fi
+if ! grep -q '"congest_msgs_dropped_total"' "$out/walks-faults-metrics.json"; then
+	echo "smoke: faulty walks metrics snapshot lacks fault counters" >&2
+	exit 1
+fi
+echo "smoke: E15 walks fault sweep ok"
+
+"$bin/mst" -quick -faults 'drop=0.01' -metrics "$out/mst-faults-metrics.json" >/dev/null
+if ! grep -q '"congest_msgs_dropped_total"' "$out/mst-faults-metrics.json"; then
+	echo "smoke: faulty mst metrics snapshot lacks fault counters" >&2
+	exit 1
+fi
+echo "smoke: E15 mst fault sweep ok"
+
+# Uniform up-front flag validation: nonsense values and unwritable output
+# paths must exit 2 before any work starts.
+expect_reject() {
+	desc=$1
+	shift
+	if "$@" >/dev/null 2>&1; then
+		echo "smoke: accepted $desc" >&2
+		exit 1
+	fi
+	"$@" >/dev/null 2>&1 || code=$?
+	if [ "${code:-0}" -ne 2 ]; then
+		echo "smoke: $desc exited $code, want 2" >&2
+		exit 1
+	fi
+}
+expect_reject "walks -workers -1" "$bin/walks" -workers -1
+expect_reject "walks -n 1" "$bin/walks" -n 1
+expect_reject "walks -steps -5" "$bin/walks" -steps -5
+expect_reject "walks -seed -1" "$bin/walks" -seed -1
+expect_reject "walks bad -faults" "$bin/walks" -faults 'drop=2.0'
+expect_reject "mst -workers -2" "$bin/mst" -workers -2
+expect_reject "mst -attempts 0" "$bin/mst" -attempts 0
+expect_reject "hierarchy -d 0" "$bin/hierarchy" -d 0
+expect_reject "clique -n 0" "$bin/clique" -n 0
+expect_reject "benchsuite -reps 0" "$bin/benchsuite" -reps 0
+expect_reject "mixing unwritable -metrics" "$bin/mixing" -metrics /no/such/dir/m.json
+expect_reject "routing unwritable -trace" "$bin/routing" -quick -trace /no/such/dir/t.json
+expect_reject "mincut unwritable -pprofout" "$bin/mincut" -pprof cpu -pprofout /no/such/dir/p.pprof
+echo "smoke: flag validation ok"

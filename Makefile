@@ -4,14 +4,16 @@
 # flag (make race SHORT=) for the exhaustive version.
 
 SHORT ?= -short
-# Per-benchmark budget for `make bench` (any go-test -benchtime value:
-# durations like 2s or fixed counts like 100x).
+# Per-benchmark budget for `make bench` and `make bench-scale` (any
+# go-test -benchtime value: durations like 2s or fixed counts like 3x;
+# BENCHTIME=1x gives a single pass of each size).
 BENCHTIME ?= 1s
-# Flags for `make bench-json`; default to CI scale. Drop -quick for the
-# full-size suite (BENCHSUITE_FLAGS="" make bench-json).
-BENCHSUITE_FLAGS ?= -quick
+# Flags for `make bench-json`; default to CI scale plus the zero-alloc
+# gate. Drop -quick for the full-size suite, which adds the n=1e6
+# engine-scale point (BENCHSUITE_FLAGS="-gate" make bench-json).
+BENCHSUITE_FLAGS ?= -quick -gate
 
-.PHONY: build vet test race check bench bench-json fuzz smoke faults
+.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults
 
 build:
 	go build ./...
@@ -42,9 +44,18 @@ bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./...
 
 # Standard benchmark set with warmup/repetition control, written as a
-# schema-versioned BENCH_<git-sha>.json for the perf trajectory.
+# schema-versioned BENCH_<git-sha>.json for the perf trajectory. With
+# -gate (the default) it also measures steady-state allocs/round on both
+# engines and fails unless integer-zero (DESIGN.md §3, EXPERIMENTS.md E16).
 bench-json:
 	go run ./cmd/benchsuite $(BENCHSUITE_FLAGS)
+
+# E16 engine scale sweep: ticker broadcasts on ring lattices at
+# n ∈ {1e4, 1e5, 1e6}, both engines. ns/msg must stay essentially flat
+# and the sequential engine must report 0 allocs/op. The 1e6 points need
+# ~1 GB and a few seconds each; BENCHTIME=1x make bench-scale for one pass.
+bench-scale:
+	go test -run '^$$' -bench BenchmarkCongestEngineScale -benchmem -benchtime $(BENCHTIME) .
 
 # Continuous fuzzing of the simulator's round engines (30s; the committed
 # f.Add corpus always runs as part of `make test`).

@@ -86,6 +86,56 @@ func BenchmarkCongestEngineMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkCongestEngineScale sweeps the engines from 10^4 to 10^6 nodes
+// on the ticker workload (every node broadcasts a zero-size token every
+// round) over constant-degree ring lattices, so rounds and per-node work
+// are identical across sizes and the reported ns/msg isolates the memory
+// layout: with the flat CSR topology and recycled arenas the per-message
+// cost must stay essentially flat as n grows (E16 checks it stays within
+// 1.25× of the n=1e4 point). Network construction runs outside the timer;
+// the timed region is Run only, i.e. steady rounds plus Init. The quick
+// benchsuite runs the 1e4/1e5 points; 1e6 needs ~1 GB of fixtures and
+// runs in the full suite and `make bench-scale`.
+func BenchmarkCongestEngineScale(b *testing.B) {
+	const rounds = 12
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		g := scaleBenchGraph(n)
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("workers=%d", workers)
+			if workers == 1 {
+				name = "sequential"
+			}
+			b.Run(fmt.Sprintf("n=%d/%s", n, name), func(b *testing.B) {
+				b.ReportAllocs()
+				msgs := 0
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					net := congest.NewUniformNetwork(g, func(int) congest.Program {
+						return congest.NewTicker(rounds)
+					}, rngutil.NewSource(7)).SetWorkers(workers)
+					b.StartTimer()
+					if _, err := net.Run(rounds + 2); err != nil {
+						b.Fatal(err)
+					}
+					msgs += net.Messages()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(msgs), "ns/msg")
+			})
+		}
+	}
+}
+
+var scaleBenchGraphs sync.Map // n -> *graph.Graph, built once per size
+
+func scaleBenchGraph(n int) *graph.Graph {
+	if g, ok := scaleBenchGraphs.Load(n); ok {
+		return g.(*graph.Graph)
+	}
+	g := graph.RingLattice(n, 4)
+	scaleBenchGraphs.Store(n, g)
+	return g
+}
+
 func BenchmarkCongestEngineTraced(b *testing.B) {
 	fx := engineBenchShared()
 	const steps = 20

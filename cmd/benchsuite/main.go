@@ -52,6 +52,11 @@ type Document struct {
 	Warmup     int       `json:"warmup"`
 	Reps       int       `json:"reps"`
 	Cases      []*Result `json:"cases"`
+	// SteadyAllocs records the -gate measurement: steady-state heap
+	// allocations per round for each engine configuration (see
+	// congest.MeasureSteadyAllocs). The gate fails the run when any
+	// entry rounds to a nonzero integer.
+	SteadyAllocs map[string]float64 `json:"steady_allocs_per_round,omitempty"`
 }
 
 // Result is one benchmark case: the minimum over reps (the conventional
@@ -77,6 +82,7 @@ type benchCase struct {
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<sha>.json)")
 	quick := flag.Bool("quick", false, "CI scale: small fixtures and -benchtime 1x by default")
+	gate := flag.Bool("gate", false, "measure steady-state allocs/round on both engines and fail unless integer-zero")
 	benchtime := flag.String("benchtime", "", `per-rep benchmark time, e.g. "1s" or "5x" (default "1s"; "1x" with -quick)`)
 	warmup := flag.Int("warmup", 1, "untimed warmup runs per case before the timed reps")
 	reps := flag.Int("reps", 3, "timed repetitions per case (minimum is reported)")
@@ -88,13 +94,13 @@ func main() {
 	cliutil.Min("reps", *reps, 1)
 	cliutil.Writable("out", *out)
 
-	if err := run(*out, *quick, *benchtime, *warmup, *reps, *runPat, *sha); err != nil {
+	if err := run(*out, *quick, *gate, *benchtime, *warmup, *reps, *runPat, *sha); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, quick bool, benchtime string, warmup, reps int, runPat, sha string) error {
+func run(out string, quick, gate bool, benchtime string, warmup, reps int, runPat, sha string) error {
 	if reps < 1 {
 		return fmt.Errorf("-reps must be >= 1 (got %d)", reps)
 	}
@@ -150,6 +156,10 @@ func run(out string, quick bool, benchtime string, warmup, reps int, runPat, sha
 	if len(doc.Cases) == 0 {
 		return fmt.Errorf("-run %q matched no cases", runPat)
 	}
+	gateErr := error(nil)
+	if gate {
+		gateErr = runAllocGate(doc)
+	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -159,6 +169,48 @@ func run(out string, quick bool, benchtime string, warmup, reps int, runPat, sha
 		return fmt.Errorf("write %s: %w", out, err)
 	}
 	fmt.Printf("wrote %d cases to %s\n", len(doc.Cases), out)
+	// The document is written even on gate failure, so the offending
+	// measurement survives as an artifact.
+	return gateErr
+}
+
+// runAllocGate measures steady-state allocations per round on both
+// engines (congest.MeasureSteadyAllocs: R-vs-2R differential, minimum
+// over trials) and fails unless every configuration is integer-zero.
+// The 0.5 threshold matches congest's alloc_test.go: residual
+// hundredths are runtime scheduler/GC noise, while any genuine hot-path
+// regression costs at least one allocation per round.
+func runAllocGate(doc *Document) error {
+	const (
+		gateNodes  = 20_000
+		gateRounds = 32
+		noiseFloor = 0.5
+	)
+	g := graph.RingLattice(gateNodes, 4)
+	doc.SteadyAllocs = make(map[string]float64)
+	var failures []string
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		name := "sequential"
+		if workers != 1 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		per := congest.MeasureSteadyAllocs(func() *congest.Network {
+			return congest.NewUniformNetwork(g, func(int) congest.Program {
+				return congest.NewTicker(1 << 30)
+			}, rngutil.NewSource(9)).SetWorkers(workers)
+		}, gateRounds)
+		doc.SteadyAllocs[name] = per
+		status := "ok"
+		if per >= noiseFloor {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.3f allocs/round", name, per))
+		}
+		fmt.Printf("alloc-gate %-12s %8.3f allocs/round  %s\n", name, per, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("alloc gate: steady-state rounds allocate (%s), want integer-zero", strings.Join(failures, "; "))
+	}
 	return nil
 }
 
@@ -289,6 +341,40 @@ func buildCases(quick bool) ([]*benchCase, error) {
 					return err
 				},
 			})
+	}
+
+	// Engine scale sweep mirroring BenchmarkCongestEngineScale: ticker
+	// broadcasts on constant-degree ring lattices, so the ns/msg extra
+	// metric isolates the memory layout and must stay essentially flat
+	// in n (E16). Quick mode stops at 1e5; the full suite adds the
+	// million-node point (~1 GB of fixtures, seconds per rep).
+	scaleSizes := []int{10_000, 100_000}
+	if !quick {
+		scaleSizes = append(scaleSizes, 1_000_000)
+	}
+	const scaleRounds = 12
+	for _, n := range scaleSizes {
+		n := n
+		sg := graph.RingLattice(n, 4)
+		cases = append(cases, &benchCase{
+			name: fmt.Sprintf("engine-scale/n=%d", n),
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				msgs := 0
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					net := congest.NewUniformNetwork(sg, func(int) congest.Program {
+						return congest.NewTicker(scaleRounds)
+					}, rngutil.NewSource(7))
+					b.StartTimer()
+					if _, err := net.Run(scaleRounds + 2); err != nil {
+						b.Fatal(err)
+					}
+					msgs += net.Messages()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(msgs), "ns/msg")
+			},
+		})
 	}
 
 	// Embedded-tier cases mirror BenchmarkEmbedded{Route,MST}; their

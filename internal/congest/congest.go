@@ -12,6 +12,14 @@
 // paper's complexity claims are statements about the number of rounds this
 // model needs, so round counts reported by Network.Run are the quantities
 // compared against the theorems.
+//
+// Memory layout (DESIGN.md §3): the hot path is built for zero-alloc
+// steady-state rounds at n ≥ 10^6. Adjacency, port and reverse-port
+// tables are flat int32 CSR arrays (topology.go); node contexts are one
+// flat []Ctx; outboxes, sent flags and inboxes are subslices of three
+// arenas sized once at NewNetwork and recycled every round by slice
+// reset. After the first few warmup rounds a steady round performs no
+// heap allocation on either engine (pinned by alloc_test.go).
 package congest
 
 import (
@@ -47,12 +55,15 @@ type Inbound struct {
 // here rather than on the Network, so that the parallel engine can shard
 // nodes across workers without any shared-counter data races: each Ctx is
 // touched by exactly one worker per phase, and network-wide totals are
-// aggregated from the per-node shards.
+// aggregated from the per-node shards. Contexts are stored as one flat
+// []Ctx on the Network, and outbox/sent are subslices of arenas shared by
+// all nodes, so building a million-node network costs a handful of
+// allocations rather than O(n).
 type Ctx struct {
 	id     int
 	net    *Network
-	rng    *rand.Rand
-	outbox []Message // one slot per port; nil = no send this round
+	rng    *rand.Rand // created on first Rand() call; derivation is pure
+	outbox []Message  // one slot per port; nil = no send this round
 	sent   []bool
 	halted bool
 	msgs   int // messages sent by this node (sharded accounting)
@@ -70,24 +81,44 @@ func (c *Ctx) ID() int { return c.id }
 
 // N returns the number of nodes in the network (globally known, as usual
 // in CONGEST algorithms that assume knowledge of n).
-func (c *Ctx) N() int { return c.net.g.N() }
+func (c *Ctx) N() int { return c.net.topo.n }
 
 // Degree returns the node's degree (number of ports).
-func (c *Ctx) Degree() int { return c.net.g.Degree(c.id) }
+func (c *Ctx) Degree() int { return len(c.outbox) }
 
 // NeighborID returns the ID of the neighbor across the given port.
-func (c *Ctx) NeighborID(port int) int { return c.net.g.Neighbors(c.id)[port].To }
+func (c *Ctx) NeighborID(port int) int {
+	t := c.net.topo
+	return int(t.to[t.start[c.id]+int32(port)])
+}
 
 // EdgeID returns the graph edge identifier behind the given port.
-func (c *Ctx) EdgeID(port int) int { return c.net.g.Neighbors(c.id)[port].EdgeID }
+func (c *Ctx) EdgeID(port int) int {
+	t := c.net.topo
+	return int(t.edge[t.start[c.id]+int32(port)])
+}
 
 // EdgeWeight returns the weight of the edge behind the given port.
 func (c *Ctx) EdgeWeight(port int) float64 {
-	return c.net.g.Edge(c.net.g.Neighbors(c.id)[port].EdgeID).W
+	return c.net.g.Edge(c.EdgeID(port)).W
 }
 
-// Rand returns the node's private deterministic random stream.
-func (c *Ctx) Rand() *rand.Rand { return c.rng }
+// PortTo returns the port leading to neighbor u, or -1 when no edge to u
+// exists. O(log deg) by binary search on the CSR port table — programs
+// that need to answer "which port reaches u?" should use this instead of
+// scanning NeighborID over all ports.
+func (c *Ctx) PortTo(u int) int { return c.net.topo.portOf(c.id, u) }
+
+// Rand returns the node's private deterministic random stream. The
+// stream is derived purely from (source seed, node ID) on first use, so
+// lazily creating it here costs construction time only for nodes that
+// actually draw randomness, without changing any drawn value.
+func (c *Ctx) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = c.net.src.Stream("node", uint64(c.id))
+	}
+	return c.rng
+}
 
 // Round returns the current network round number (0 during Init). It
 // reads the network's round counter directly, so it keeps advancing with
@@ -101,7 +132,7 @@ func (c *Ctx) Round() int { return c.net.rounds }
 // most one message may be sent per port per round; a second send on the
 // same port panics, since it is a bug in the node program.
 func (c *Ctx) Send(port int, payload Message) {
-	if port < 0 || port >= c.Degree() {
+	if port < 0 || port >= len(c.outbox) {
 		panic(fmt.Sprintf("congest: node %d sends on invalid port %d", c.id, port))
 	}
 	if c.sent[port] {
@@ -114,7 +145,7 @@ func (c *Ctx) Send(port int, payload Message) {
 
 // Broadcast queues the same message on every port.
 func (c *Ctx) Broadcast(payload Message) {
-	for p := 0; p < c.Degree(); p++ {
+	for p := 0; p < len(c.outbox); p++ {
 		c.Send(p, payload)
 	}
 }
@@ -134,7 +165,9 @@ func (c *Ctx) Halt() {
 }
 
 // Program is a node algorithm. Init runs once before round 0; Step runs
-// every round with the messages delivered in that round.
+// every round with the messages delivered in that round. The inbox slice
+// handed to Step is an engine-owned buffer recycled every round: Step
+// must not retain it (or any Inbound in it) past its own return.
 type Program interface {
 	Init(ctx *Ctx)
 	Step(ctx *Ctx, inbox []Inbound)
@@ -144,13 +177,16 @@ type Program interface {
 // nodes of a graph.
 type Network struct {
 	g        *graph.Graph
-	ctxs     []*Ctx
+	topo     *topology
+	src      *rngutil.Source
+	ctxs     []Ctx
 	programs []Program
-	// portOf[v] maps neighbor u -> port index at v, to route deliveries.
-	portOf []map[int]int
-	// revPort[v][p] is the port index at the neighbor across port p of v
-	// that leads back to v, so delivery never needs a map lookup.
-	revPort [][]int32
+	// inboxes[v] is node v's delivery buffer, a subslice of one flat
+	// arena sized to the directed-port count at NewNetwork. Engines
+	// recycle it every round by slice reset; it only regrows when
+	// duplication faults push a round's deliveries past a node's degree,
+	// after which the grown buffer is retained and reused.
+	inboxes [][]Inbound
 	rounds  int
 	// workers is the engine option consumed by Run and RunUntilQuiet:
 	// 1 (the default) selects the sequential reference engine, >1 the
@@ -180,34 +216,32 @@ func NewNetwork(g *graph.Graph, programs []Program, src *rngutil.Source) *Networ
 	if len(programs) != g.N() {
 		panic(fmt.Sprintf("congest: %d programs for %d nodes", len(programs), g.N()))
 	}
+	n := g.N()
+	topo := newTopology(g)
 	net := &Network{
 		g:        g,
-		ctxs:     make([]*Ctx, g.N()),
+		topo:     topo,
+		src:      src,
+		ctxs:     make([]Ctx, n),
 		programs: programs,
-		portOf:   make([]map[int]int, g.N()),
-		revPort:  make([][]int32, g.N()),
+		inboxes:  make([][]Inbound, n),
 		workers:  1,
 	}
-	for v := 0; v < g.N(); v++ {
-		deg := g.Degree(v)
-		net.ctxs[v] = &Ctx{
-			id:     v,
-			net:    net,
-			rng:    src.Stream("node", uint64(v)),
-			outbox: make([]Message, deg),
-			sent:   make([]bool, deg),
-		}
-		net.portOf[v] = make(map[int]int, deg)
-		for p, h := range g.Neighbors(v) {
-			net.portOf[v][h.To] = p
-		}
-	}
-	for v := 0; v < g.N(); v++ {
-		nbrs := g.Neighbors(v)
-		net.revPort[v] = make([]int32, len(nbrs))
-		for p, h := range nbrs {
-			net.revPort[v][p] = int32(net.portOf[h.To][v])
-		}
+	// All per-port state lives in three arenas subsliced per node; the
+	// full-slice expressions pin each node's capacity to its degree so a
+	// neighbor's append can never bleed into the next node's range.
+	ports := int(topo.start[n])
+	outArena := make([]Message, ports)
+	sentArena := make([]bool, ports)
+	inArena := make([]Inbound, ports)
+	for v := 0; v < n; v++ {
+		lo, hi := topo.start[v], topo.start[v+1]
+		ctx := &net.ctxs[v]
+		ctx.id = v
+		ctx.net = net
+		ctx.outbox = outArena[lo:hi:hi]
+		ctx.sent = sentArena[lo:hi:hi]
+		net.inboxes[v] = inArena[lo:lo:hi]
 	}
 	return net
 }
@@ -230,8 +264,8 @@ func (n *Network) Rounds() int { return n.rounds }
 // flight (no caller does: runs are synchronous).
 func (n *Network) Messages() int {
 	total := 0
-	for _, ctx := range n.ctxs {
-		total += ctx.msgs
+	for v := range n.ctxs {
+		total += n.ctxs[v].msgs
 	}
 	return total
 }
@@ -306,12 +340,11 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 	n.faultsRunStart(1)
 	ms := n.metricsRunStart(1)
 	for v, prog := range n.programs {
-		prog.Init(n.ctxs[v])
+		prog.Init(&n.ctxs[v])
 	}
 	if n.probe != nil {
 		n.probeDrainEvents() // marks/halts emitted during Init, round 0
 	}
-	inboxes := make([][]Inbound, n.g.N())
 	for r := 0; r < maxRounds; r++ {
 		if n.allHalted() {
 			return n.finish(nil)
@@ -323,8 +356,8 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 		// Deliver round r−1's sends through the canonical delivery point
 		// (shared with the parallel engine; see deliverTo).
 		delivered := 0
-		for u := range inboxes {
-			delivered += n.deliverTo(u, inboxes, 0)
+		for u := range n.inboxes {
+			delivered += n.deliverTo(u, 0)
 		}
 		if quiet && r > 0 && delivered == 0 && n.faultsQuiet() {
 			return n.finish(nil)
@@ -332,17 +365,17 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 		n.rounds++
 		active := 0
 		for v, prog := range n.programs {
-			ctx := n.ctxs[v]
+			ctx := &n.ctxs[v]
 			ctx.clearOutbox()
 			if ctx.halted || n.nodeCrashed(v) {
 				continue
 			}
 			active++
-			prog.Step(ctx, inboxes[v])
+			prog.Step(ctx, n.inboxes[v])
 		}
 		fc := n.faultsRoundEnd()
 		if n.probe != nil {
-			n.probeRoundFlush(inboxes, delivered, active, fc)
+			n.probeRoundFlush(delivered, active, fc)
 		}
 		if ms != nil {
 			ms.roundEnd(t0, delivered, fc)
@@ -358,35 +391,39 @@ func (n *Network) runSequential(maxRounds int, quiet bool) (int, error) {
 // (n.rounds+1, 1-based) and returns the number of messages delivered to
 // it. It is THE canonical receiver-driven delivery point: both engines
 // call it once per receiver per round, each receiver scanning its own
-// ports in order and reading the matching outbox slot of the sender
-// across each port, so delivery order is fixed regardless of engine or
-// worker count. Messages to halted nodes are dropped. When a fault plan
-// is attached this is also the single injection point (see faultnet.go);
-// w is the calling worker's shard index for the fault layer's padded
-// count slots (0 on the sequential engine).
-func (n *Network) deliverTo(u int, inboxes [][]Inbound, w int) int {
-	inbox := inboxes[u][:0]
+// CSR port range in order and reading the matching outbox slot of the
+// sender across each port (one rev-table read), so delivery order is
+// fixed regardless of engine or worker count. Messages to halted nodes
+// are dropped. The inbox is the node's recycled arena subslice, reset to
+// length zero here — steady-state rounds never allocate. When a fault
+// plan is attached this is also the single injection point (see
+// faultnet.go); w is the calling worker's shard index for the fault
+// layer's padded count slots (0 on the sequential engine).
+func (n *Network) deliverTo(u, w int) int {
+	inbox := n.inboxes[u][:0]
 	if n.fs != nil {
 		inbox = n.fs.deliverFaulty(n, u, inbox, w)
-		inboxes[u] = inbox
+		n.inboxes[u] = inbox
 		return len(inbox)
 	}
 	if n.ctxs[u].halted {
-		inboxes[u] = inbox
+		n.inboxes[u] = inbox
 		return 0
 	}
-	for q, h := range n.g.Neighbors(u) {
-		sender := n.ctxs[h.To]
-		sp := n.revPort[u][q]
+	t := n.topo
+	lo, hi := t.start[u], t.start[u+1]
+	for i := lo; i < hi; i++ {
+		sender := &n.ctxs[t.to[i]]
+		sp := t.rev[i]
 		if sender.sent[sp] {
 			inbox = append(inbox, Inbound{
-				Port:    q,
-				From:    h.To,
+				Port:    int(i - lo),
+				From:    int(t.to[i]),
 				Payload: sender.outbox[sp],
 			})
 		}
 	}
-	inboxes[u] = inbox
+	n.inboxes[u] = inbox
 	return len(inbox)
 }
 
@@ -402,8 +439,8 @@ func (c *Ctx) clearOutbox() {
 }
 
 func (n *Network) allHalted() bool {
-	for _, ctx := range n.ctxs {
-		if !ctx.halted {
+	for v := range n.ctxs {
+		if !n.ctxs[v].halted {
 			return false
 		}
 	}

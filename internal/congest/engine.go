@@ -118,7 +118,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 	n.faultsRunStart(workers)
 	ms := n.metricsRunStart(workers)
 	for v, prog := range n.programs {
-		prog.Init(n.ctxs[v])
+		prog.Init(&n.ctxs[v])
 	}
 	if n.probe != nil {
 		n.probeDrainEvents() // marks/halts emitted during Init, round 0
@@ -127,24 +127,23 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 	for w := 0; w <= workers; w++ {
 		bounds[w] = w * nNodes / workers
 	}
-	inboxes := make([][]Inbound, nNodes)
 	delivered := make([]int, workers*pad)
 
 	deliverPhase := func(w int) {
 		count := 0
 		for u := bounds[w]; u < bounds[w+1]; u++ {
-			count += n.deliverTo(u, inboxes, w)
+			count += n.deliverTo(u, w)
 		}
 		delivered[w*pad] = count
 	}
 	stepPhase := func(w int) {
 		for v := bounds[w]; v < bounds[w+1]; v++ {
-			ctx := n.ctxs[v]
+			ctx := &n.ctxs[v]
 			ctx.clearOutbox()
 			if ctx.halted || n.nodeCrashed(v) {
 				continue
 			}
-			n.programs[v].Step(ctx, inboxes[v])
+			n.programs[v].Step(ctx, n.inboxes[v])
 		}
 	}
 
@@ -182,8 +181,8 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 		// the coordinator, between the deliver and step barriers.
 		active := 0
 		if n.probe != nil {
-			for v, ctx := range n.ctxs {
-				if !ctx.halted && !n.nodeCrashed(v) {
+			for v := range n.ctxs {
+				if !n.ctxs[v].halted && !n.nodeCrashed(v) {
 					active++
 				}
 			}
@@ -191,7 +190,7 @@ func (n *Network) runParallel(maxRounds, workers int, quiet bool) (int, error) {
 		pool.dispatch(workers, step)
 		fc := n.faultsRoundEnd()
 		if n.probe != nil {
-			n.probeRoundFlush(inboxes, sumDelivered(), active, fc)
+			n.probeRoundFlush(sumDelivered(), active, fc)
 		}
 		if ms != nil {
 			ms.roundEnd(t0, sumDelivered(), fc)

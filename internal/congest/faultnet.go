@@ -98,8 +98,12 @@ func (n *Network) faultsQuiet() bool {
 		}
 	}
 	// n.rounds is the last executed round here: the quiet check runs
-	// before the round counter advances.
-	return !n.fs.plan.RecoveringAt(n.rounds + 1)
+	// before the round counter advances. The run must survive through
+	// the recovery round itself: a node that recovers at round r steps
+	// again only IN round r, so checking just the next round quit one
+	// round early and dropped the queued program state the recovery was
+	// meant to resume (TestScratchQuietRecovery pins this).
+	return !n.fs.plan.RecoveringAt(n.rounds) && !n.fs.plan.RecoveringAt(n.rounds+1)
 }
 
 // faultsRoundEnd drains the per-worker fault counts of the round just
@@ -126,7 +130,7 @@ func (n *Network) faultsRoundEnd() faults.Counts {
 func (fs *faultState) deliverFaulty(n *Network, u int, inbox []Inbound, w int) []Inbound {
 	round := n.rounds + 1
 	fc := &fs.counts[w*faultCountStride]
-	ctx := n.ctxs[u]
+	ctx := &n.ctxs[u]
 
 	if ctx.halted {
 		// A halted node never steps again: discard anything still aimed
@@ -150,23 +154,22 @@ func (fs *faultState) deliverFaulty(n *Network, u int, inbox []Inbound, w int) [
 	}
 	fs.pending[u] = kept
 
-	// Fresh messages, receiver-driven in port order — the same canonical
-	// scan as the fault-free path.
-	for q, h := range n.g.Neighbors(u) {
-		sender := n.ctxs[h.To]
-		sp := n.revPort[u][q]
+	// Fresh messages, receiver-driven in port order over the CSR range —
+	// the same canonical scan as the fault-free path.
+	t := n.topo
+	lo, hi := t.start[u], t.start[u+1]
+	for i := lo; i < hi; i++ {
+		sender := &n.ctxs[t.to[i]]
+		sp := t.rev[i]
 		if !sender.sent[sp] {
 			continue
 		}
-		if crashed || fs.plan.Severed(h.EdgeID, round) {
+		if crashed || fs.plan.Severed(int(t.edge[i]), round) {
 			fc.Dropped++
 			continue
 		}
-		in := Inbound{Port: q, From: h.To, Payload: sender.outbox[sp]}
-		slot := 2 * h.EdgeID
-		if n.g.Edge(h.EdgeID).V == u {
-			slot++
-		}
+		in := Inbound{Port: int(i - lo), From: int(t.to[i]), Payload: sender.outbox[sp]}
+		slot := t.slotOf(i, u)
 		fate, delay := fs.plan.MessageFate(round, slot)
 		switch fate {
 		case faults.Drop:

@@ -441,8 +441,9 @@ func TestEdgeLoadNoInt32Wraparound(t *testing.T) {
 	net.probeRunStart("test", 1)
 	net.ps.edgeLoad[0] = math.MaxInt32 // accumulated load of edge 0 toward node 0...
 	net.rounds = 1
-	inboxes := [][]Inbound{{{Port: 0, From: 1, Payload: 0}}, {}}
-	net.probeRoundFlush(inboxes, 1, 2, faults.Counts{})
+	net.inboxes[0] = append(net.inboxes[0][:0], Inbound{Port: 0, From: 1, Payload: 0})
+	net.inboxes[1] = net.inboxes[1][:0]
+	net.probeRoundFlush(1, 2, faults.Counts{})
 	if want := int64(math.MaxInt32) + 1; rec.MaxEdgeLoad != want {
 		t.Fatalf("MaxEdgeLoad = %d, want %d (old int32 counter wrapped negative)", rec.MaxEdgeLoad, want)
 	}

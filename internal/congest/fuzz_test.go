@@ -49,6 +49,12 @@ func FuzzNetworkRun(f *testing.F) {
 	f.Add(uint64(3), uint16(0xaaaa), uint8(7), uint8(20), uint8(3))
 	f.Add(uint64(4), uint16(0x0000), uint8(5), uint8(3), uint8(0))
 	f.Add(uint64(5), uint16(0x7777), uint8(6), uint8(31), uint8(8))
+	// Degree-extreme topologies stressing the CSR port tables: a pure
+	// star on 6 nodes (pair indices 0–4 are exactly (0,v); one long
+	// sorted port table at the hub, singletons at the leaves) and the
+	// complete graph K8 (maximum degree, every port table full).
+	f.Add(uint64(6), uint16(0x001f), uint8(4), uint8(12), uint8(2))
+	f.Add(uint64(7), uint16(0xffff), uint8(6), uint8(12), uint8(4))
 
 	f.Fuzz(func(t *testing.T, seed uint64, edgeMask uint16, nRaw, budgetRaw, workersRaw uint8) {
 		n := int(nRaw%7) + 2 // 2..8 nodes

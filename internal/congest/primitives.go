@@ -222,11 +222,8 @@ func (p *sumProgram) Step(ctx *Ctx, inbox []Inbound) {
 	sendRound := p.depth - p.tree.Dist[v] + 1
 	switch {
 	case ctx.Round() == sendRound && p.tree.Parent[v] >= 0:
-		for port := 0; port < ctx.Degree(); port++ {
-			if ctx.NeighborID(port) == p.tree.Parent[v] {
-				ctx.Send(port, p.acc)
-				break
-			}
+		if port := ctx.PortTo(p.tree.Parent[v]); port >= 0 {
+			ctx.Send(port, p.acc)
 		}
 		p.totals[v] = p.acc
 		ctx.Halt()

@@ -26,9 +26,10 @@ package congest
 //     nothing for the layer's existence (BenchmarkCongestEngine guards
 //     this).
 //
-// Probes must not mutate the network or retain the record slices they are
-// handed; RoundRecord.InboxSizes and RoundRecord.EdgeLoad are buffers
-// owned by the engine, valid only during the RoundEnd call.
+// Probes must not mutate the network or retain what they are handed: the
+// *RoundRecord itself and its InboxSizes/EdgeLoad slices are engine-owned
+// buffers recycled every round (part of the zero-alloc steady-state
+// contract, DESIGN.md §3), valid only during the RoundEnd call.
 
 import (
 	"fmt"
@@ -182,11 +183,14 @@ type phaseMark struct {
 }
 
 // probeState holds the per-run scratch buffers of the probe layer,
-// allocated only when a probe is attached.
+// allocated only when a probe is attached. The RoundRecord is part of
+// the scratch: it is refilled and handed to RoundEnd every round, never
+// reallocated, so an attached probe adds no steady-state allocations.
 type probeState struct {
 	inboxSizes []int
 	edgeLoad   []int64
 	touched    []int
+	rec        RoundRecord
 }
 
 // probeRunStart announces the run and allocates the scratch buffers.
@@ -212,7 +216,8 @@ func (n *Network) probeRunStart(engine string, workers int) {
 // order. Marks and halt flags are written only by the worker owning the
 // node's shard; the coordinator drains them between barriers.
 func (n *Network) probeDrainEvents() {
-	for v, ctx := range n.ctxs {
+	for v := range n.ctxs {
+		ctx := &n.ctxs[v]
 		if len(ctx.marks) > 0 {
 			for _, m := range ctx.marks {
 				n.probe.PhaseMark(v, m.round, m.name)
@@ -229,10 +234,13 @@ func (n *Network) probeDrainEvents() {
 // probeRoundFlush aggregates the round just executed and fires the
 // per-round hooks. It reads the inboxes built by the deliver phase (which
 // survive untouched through Step) rather than instrumenting the delivery
-// hot path, so the engines carry no per-message probe cost.
-func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int, fc faults.Counts) {
+// hot path, so the engines carry no per-message probe cost. The record
+// and its slices are probeState scratch, refilled in place: a steady
+// probed round allocates nothing.
+func (n *Network) probeRoundFlush(delivered, active int, fc faults.Counts) {
 	ps := n.ps
-	rec := &RoundRecord{
+	rec := &ps.rec
+	*rec = RoundRecord{
 		Round:        n.rounds,
 		Delivered:    delivered,
 		Active:       active,
@@ -244,18 +252,15 @@ func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int, fc
 		Delayed:      int(fc.Delayed),
 		Crashed:      int(fc.Crashed),
 	}
-	for u, inbox := range inboxes {
+	t := n.topo
+	for u, inbox := range n.inboxes {
 		ps.inboxSizes[u] = len(inbox)
 		if len(inbox) > rec.MaxInbox {
 			rec.MaxInbox = len(inbox)
 			rec.MaxInboxNode = u
 		}
 		for _, in := range inbox {
-			edgeID := n.g.Neighbors(u)[in.Port].EdgeID
-			slot := 2 * edgeID
-			if n.g.Edge(edgeID).V == u {
-				slot++
-			}
+			slot := t.slotOf(t.start[u]+int32(in.Port), u)
 			if ps.edgeLoad[slot] == 0 {
 				ps.touched = append(ps.touched, slot)
 			}
@@ -265,8 +270,8 @@ func (n *Network) probeRoundFlush(inboxes [][]Inbound, delivered, active int, fc
 			}
 		}
 	}
-	for _, ctx := range n.ctxs {
-		if ctx.halted {
+	for v := range n.ctxs {
+		if n.ctxs[v].halted {
 			rec.Halted++
 		}
 	}

@@ -1,0 +1,98 @@
+package congest
+
+// Benchmark/regression workloads for the hot path. The ticker is the
+// canonical steady-state load: every node broadcasts a pre-boxed
+// zero-size token on every port every round, so a steady round moves the
+// maximum 2m messages with zero program-side allocation — what the
+// delivery path does per round is exactly what the measurement sees.
+
+import (
+	"errors"
+	"runtime"
+)
+
+// tickToken is the zero-size payload: converting a zero-width value to
+// an interface never allocates (it boxes the runtime's shared zero
+// base), so sends cost nothing on the heap.
+type tickToken struct{}
+
+// Tick is the shared pre-boxed payload tickers broadcast.
+var Tick Message = tickToken{}
+
+// ticker broadcasts Tick on every port each round and halts after the
+// configured round. It is stateless per round; one instance may be
+// shared by every node of a network.
+type ticker struct{ rounds int }
+
+// NewTicker returns the steady-state benchmark program: broadcast a
+// zero-size token on every port each round, halt after `rounds` rounds.
+func NewTicker(rounds int) Program { return &ticker{rounds: rounds} }
+
+func (t *ticker) Init(ctx *Ctx) { ctx.Broadcast(Tick) }
+
+func (t *ticker) Step(ctx *Ctx, inbox []Inbound) {
+	if ctx.Round() >= t.rounds {
+		ctx.Halt()
+		return
+	}
+	ctx.Broadcast(Tick)
+}
+
+// MeasureSteadyAllocs reports the average heap allocations per
+// steady-state round of an engine configuration, by differencing two
+// otherwise-identical runs of `rounds` and `2·rounds` rounds: network
+// construction, run-start scratch (probe/fault/metrics state, worker
+// pool) and warmup growth appear in both runs and cancel, leaving only
+// what a steady round allocates. build must return a fresh Network with
+// identical construction on every call (networks are single-use);
+// ErrRoundLimit from the run is tolerated so non-halting workloads can
+// be cut off at the measured round count.
+//
+// The measurement pins GOMAXPROCS to 1 (like testing.AllocsPerRun) so
+// scheduler-dependent allocation noise cannot leak in; the parallel
+// engine still exercises its full barrier structure, merely serialized.
+// Residual runtime noise (a GC cycle landing inside one window) is
+// strictly additive, so the minimum over a few independent short/long
+// pairs converges to the true steady cost — which keeps a strict == 0
+// regression gate assertable (alloc_test.go, cmd/benchsuite -gate).
+func MeasureSteadyAllocs(build func() *Network, rounds int) float64 {
+	measure := func(r int) float64 {
+		return allocsPerRun(3, func() {
+			if _, err := build().Run(r); err != nil && !errors.Is(err, ErrRoundLimit) {
+				panic(err)
+			}
+		})
+	}
+	const trials = 3
+	best := 0.0
+	for trial := 0; trial < trials; trial++ {
+		short := measure(rounds)
+		long := measure(2 * rounds)
+		per := (long - short) / float64(rounds)
+		if per < 0 {
+			per = 0 // jitter on an allocation-free path
+		}
+		if trial == 0 || per < best {
+			best = per
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return best
+}
+
+// allocsPerRun mirrors testing.AllocsPerRun without importing testing
+// into the non-test build: one warmup call, then the average mallocs of
+// runs calls under GOMAXPROCS(1).
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warmup: steady-states allocator caches and arena growth
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}

@@ -5,55 +5,79 @@ import (
 	"math/rand/v2"
 )
 
+// The deterministic generators stream their edge sequence through
+// graph.Build: edges are emitted twice (count, then fill) instead of
+// materialized in an intermediate list, and the adjacency lands in one
+// flat halfedge arena — construction at n ≥ 10^6 costs a handful of
+// allocations. Randomized generators keep the New + AddEdge path (their
+// streams cannot be replayed deterministically without buffering).
+
 // Ring returns the n-node cycle C_n (n >= 3).
 func Ring(n int) *Graph {
 	if n < 3 {
 		panic("graph: ring needs n >= 3")
 	}
-	g := New(n)
-	for v := 0; v < n; v++ {
-		g.AddEdge(v, (v+1)%n, 1)
+	return Build(n, func(add func(u, v int, w float64)) {
+		for v := 0; v < n; v++ {
+			add(v, (v+1)%n, 1)
+		}
+	})
+}
+
+// RingLattice returns the ring lattice: n nodes on a cycle, each joined
+// to its k nearest neighbors on each side (degree 2k; the unrewired
+// Watts–Strogatz substrate). Deterministic and constant-degree, it is
+// the graph family the engine scale benchmarks stream at n ≥ 10^6.
+func RingLattice(n, k int) *Graph {
+	if k < 1 || 2*k >= n {
+		panic("graph: ring lattice needs 1 <= k < n/2")
 	}
-	return g
+	return Build(n, func(add func(u, v int, w float64)) {
+		for v := 0; v < n; v++ {
+			for j := 1; j <= k; j++ {
+				add(v, (v+j)%n, 1)
+			}
+		}
+	})
 }
 
 // Path returns the n-node path P_n.
 func Path(n int) *Graph {
-	g := New(n)
-	for v := 0; v+1 < n; v++ {
-		g.AddEdge(v, v+1, 1)
-	}
-	return g
+	return Build(n, func(add func(u, v int, w float64)) {
+		for v := 0; v+1 < n; v++ {
+			add(v, v+1, 1)
+		}
+	})
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	g := New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			g.AddEdge(u, v, 1)
+	return Build(n, func(add func(u, v int, w float64)) {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				add(u, v, 1)
+			}
 		}
-	}
-	return g
+	})
 }
 
 // Star returns the star graph with node 0 at the center and n-1 leaves.
 func Star(n int) *Graph {
-	g := New(n)
-	for v := 1; v < n; v++ {
-		g.AddEdge(0, v, 1)
-	}
-	return g
+	return Build(n, func(add func(u, v int, w float64)) {
+		for v := 1; v < n; v++ {
+			add(0, v, 1)
+		}
+	})
 }
 
 // BinaryTree returns a complete binary tree on n nodes, with node 0 as the
 // root and node v's children at 2v+1 and 2v+2.
 func BinaryTree(n int) *Graph {
-	g := New(n)
-	for v := 1; v < n; v++ {
-		g.AddEdge((v-1)/2, v, 1)
-	}
-	return g
+	return Build(n, func(add func(u, v int, w float64)) {
+		for v := 1; v < n; v++ {
+			add((v-1)/2, v, 1)
+		}
+	})
 }
 
 // Torus returns the rows×cols 2-dimensional torus (wrap-around grid).
@@ -62,47 +86,47 @@ func Torus(rows, cols int) *Graph {
 	if rows < 3 || cols < 3 {
 		panic("graph: torus needs both dimensions >= 3")
 	}
-	g := New(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			g.AddEdge(id(r, c), id((r+1)%rows, c), 1)
-			g.AddEdge(id(r, c), id(r, (c+1)%cols), 1)
+	return Build(rows*cols, func(add func(u, v int, w float64)) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				add(id(r, c), id((r+1)%rows, c), 1)
+				add(id(r, c), id(r, (c+1)%cols), 1)
+			}
 		}
-	}
-	return g
+	})
 }
 
 // Grid returns the rows×cols 2-dimensional grid (no wrap-around).
 func Grid(rows, cols int) *Graph {
-	g := New(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if r+1 < rows {
-				g.AddEdge(id(r, c), id(r+1, c), 1)
-			}
-			if c+1 < cols {
-				g.AddEdge(id(r, c), id(r, c+1), 1)
+	return Build(rows*cols, func(add func(u, v int, w float64)) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if r+1 < rows {
+					add(id(r, c), id(r+1, c), 1)
+				}
+				if c+1 < cols {
+					add(id(r, c), id(r, c+1), 1)
+				}
 			}
 		}
-	}
-	return g
+	})
 }
 
 // Hypercube returns the dim-dimensional hypercube on 2^dim nodes.
 func Hypercube(dim int) *Graph {
 	n := 1 << dim
-	g := New(n)
-	for v := 0; v < n; v++ {
-		for b := 0; b < dim; b++ {
-			u := v ^ (1 << b)
-			if u > v {
-				g.AddEdge(v, u, 1)
+	return Build(n, func(add func(u, v int, w float64)) {
+		for v := 0; v < n; v++ {
+			for b := 0; b < dim; b++ {
+				u := v ^ (1 << b)
+				if u > v {
+					add(v, u, 1)
+				}
 			}
 		}
-	}
-	return g
+	})
 }
 
 // Lollipop returns a clique on cliqueSize nodes with a path of pathLen
@@ -111,40 +135,40 @@ func Hypercube(dim int) *Graph {
 // algorithm degrades (the lower-bound-style graphs of Das Sarma et al.
 // have a similar bottleneck flavor).
 func Lollipop(cliqueSize, pathLen int) *Graph {
-	g := New(cliqueSize + pathLen)
-	for u := 0; u < cliqueSize; u++ {
-		for v := u + 1; v < cliqueSize; v++ {
-			g.AddEdge(u, v, 1)
+	return Build(cliqueSize+pathLen, func(add func(u, v int, w float64)) {
+		for u := 0; u < cliqueSize; u++ {
+			for v := u + 1; v < cliqueSize; v++ {
+				add(u, v, 1)
+			}
 		}
-	}
-	prev := 0
-	for i := 0; i < pathLen; i++ {
-		v := cliqueSize + i
-		g.AddEdge(prev, v, 1)
-		prev = v
-	}
-	return g
+		prev := 0
+		for i := 0; i < pathLen; i++ {
+			v := cliqueSize + i
+			add(prev, v, 1)
+			prev = v
+		}
+	})
 }
 
 // Barbell returns two cliques of size k joined by a path of bridgeLen
 // intermediate nodes (bridgeLen may be zero, giving a single bridge edge).
 // Its minimum cut is 1, making it the canonical min-cut test graph.
 func Barbell(k, bridgeLen int) *Graph {
-	g := New(2*k + bridgeLen)
-	for u := 0; u < k; u++ {
-		for v := u + 1; v < k; v++ {
-			g.AddEdge(u, v, 1)
-			g.AddEdge(k+u, k+v, 1)
+	return Build(2*k+bridgeLen, func(add func(u, v int, w float64)) {
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				add(u, v, 1)
+				add(k+u, k+v, 1)
+			}
 		}
-	}
-	prev := 0
-	for i := 0; i < bridgeLen; i++ {
-		v := 2*k + i
-		g.AddEdge(prev, v, 1)
-		prev = v
-	}
-	g.AddEdge(prev, k, 1)
-	return g
+		prev := 0
+		for i := 0; i < bridgeLen; i++ {
+			v := 2*k + i
+			add(prev, v, 1)
+			prev = v
+		}
+		add(prev, k, 1)
+	})
 }
 
 // Gnp returns an Erdős–Rényi random graph G(n, p): each of the n·(n-1)/2

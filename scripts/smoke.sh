@@ -120,6 +120,26 @@ if ! grep -q '"congest_msgs_dropped_total"' "$out/mst-faults-metrics.json"; then
 fi
 echo "smoke: E15 mst fault sweep ok"
 
+# Hot-path scale smoke: one end-to-end n=1e5 engine run (ticker workload
+# on a ring lattice) through benchsuite, with the zero-alloc gate on. The
+# case must report allocs_per_op 0 — the arenas/CSR layout working at
+# scale, not just in unit-test-sized graphs.
+"$bin/benchsuite" -quick -reps 1 -run 'engine-scale/n=100000' -gate \
+	-out "$out/bench-smoke.json" >/dev/null
+if ! grep -q '"engine-scale/n=100000"' "$out/bench-smoke.json"; then
+	echo "smoke: benchsuite wrote no engine-scale case" >&2
+	exit 1
+fi
+if ! grep -q '"allocs_per_op": 0' "$out/bench-smoke.json"; then
+	echo "smoke: n=1e5 engine run reported nonzero allocs_per_op" >&2
+	exit 1
+fi
+if ! grep -q '"steady_allocs_per_round"' "$out/bench-smoke.json"; then
+	echo "smoke: benchsuite gate recorded no steady-alloc measurements" >&2
+	exit 1
+fi
+echo "smoke: E16 engine scale (n=1e5, zero-alloc) ok"
+
 # Uniform up-front flag validation: nonsense values and unwritable output
 # paths must exit 2 before any work starts.
 expect_reject() {

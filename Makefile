@@ -13,7 +13,7 @@ BENCHTIME ?= 1s
 # engine-scale point (BENCHSUITE_FLAGS="-gate" make bench-json).
 BENCHSUITE_FLAGS ?= -quick -gate
 
-.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults
+.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults tcp-suite
 
 build:
 	go build ./...
@@ -39,6 +39,15 @@ check: vet test race faults
 # it at tiny scale with -trace, and check the trace lands non-empty.
 smoke:
 	sh scripts/smoke.sh
+
+# The transport differential suite, race-instrumented and never shortened:
+# every workload × shard count × seed over loopback TCP (goroutine-mode
+# shards AND real cmd/tcpnode processes) must be trace-byte-identical to
+# the sequential engine, and shard death/stall must surface as clean
+# errors within the deadline. The hard -timeout keeps a wedged coordinator
+# from hanging CI.
+tcp-suite:
+	go test -race -timeout 300s ./internal/transport/... ./internal/congest -run 'TestDifferentialSuite|TestProcMatchesDirectEngine|TestRealProcess|TestShardDeath|TestShardStall|TestDialShard|TestTCPValidates|TestFrame|TestNewShard|TestShardInject|TestConfigure'
 
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./...

@@ -366,6 +366,11 @@ func buildCases(quick bool) ([]*benchCase, error) {
 					net := congest.NewUniformNetwork(sg, func(int) congest.Program {
 						return congest.NewTicker(scaleRounds)
 					}, rngutil.NewSource(7))
+					// Construction just allocated ~n-sized fixtures; a GC
+					// cycle paced by that growth can otherwise land inside
+					// the timed window and charge its O(1) sudog/stack
+					// bookkeeping to the run, which must read exactly 0.
+					runtime.GC()
 					b.StartTimer()
 					if _, err := net.Run(scaleRounds + 2); err != nil {
 						b.Fatal(err)

@@ -19,6 +19,8 @@ import (
 	"almostmix/internal/mstbase"
 	"almostmix/internal/rngutil"
 	"almostmix/internal/spectral"
+	"almostmix/internal/transport"
+	"almostmix/internal/transport/workloads"
 )
 
 func main() {
@@ -34,16 +36,30 @@ func main() {
 	faultSpec := flag.String("faults", "", `run the E15 GHS degradation sweep with this fault spec as its custom row, e.g. "drop=0.02" (see DESIGN.md §3); implies -ghsnet`)
 	faultSeed := flag.Uint64("faultseed", 1, "fault-injection seed for -faults (independent of -seed)")
 	attempts := flag.Int("attempts", 5, "max restarts per faulty GHS execution before declaring failure")
+	transportName := flag.String("transport", "proc", "execution backend for -ghsnet: proc (in-process engines) or tcp (one OS process per shard over loopback TCP); results are identical; tcp implies -ghsnet")
+	shards := flag.Int("shards", 2, "node processes for -transport=tcp")
+	listen := flag.String("listen", "127.0.0.1:0", "coordinator listen address for -transport=tcp")
+	tcpnode := flag.String("tcpnode", "", "path to the tcpnode binary for -transport=tcp (default: next to this binary)")
 	flag.Parse()
 	cliutil.Workers("workers", *workers)
 	cliutil.Min("attempts", *attempts, 1)
 	cliutil.FaultSpec("faults", *faultSpec)
+	cliutil.Transport("transport", *transportName)
+	cliutil.Min("shards", *shards, 1)
+	cliutil.Listen("listen", *listen)
+	if *transportName == "tcp" && *faultSpec != "" {
+		cliutil.Fail("-faults needs -transport=proc: shard replicas cannot observe global fault state (see DESIGN.md)")
+	}
 	cliutil.Writable("trace", *trace)
 	cliutil.Writable("metrics", *metricsOut)
 	cliutil.Writable("pprofout", *pprofOut)
+	tr, err := transport.NewBackend(*transportName, *workers, *shards, *listen, *tcpnode)
+	if err != nil {
+		cliutil.Fail("%v", err)
+	}
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
-		err = run(*audit, *ghsnet, *quick, *seed, *workers, *trace, *faultSpec, *faultSeed, *attempts, sess)
+		err = run(*audit, *ghsnet || *transportName == "tcp", *quick, *seed, *workers, *trace, *faultSpec, *faultSeed, *attempts, tr, sess)
 		if cerr := sess.Close(); err == nil {
 			err = cerr
 		}
@@ -54,7 +70,7 @@ func main() {
 	}
 }
 
-func run(audit, ghsnet, quick bool, seed uint64, workers int, trace, faultSpec string, faultSeed uint64, attempts int, sess *metrics.Session) error {
+func run(audit, ghsnet, quick bool, seed uint64, workers int, trace, faultSpec string, faultSeed uint64, attempts int, tr transport.Transport, sess *metrics.Session) error {
 	var sink *congest.TraceSink
 	if trace != "" || sess.Registry() != nil {
 		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
@@ -63,26 +79,43 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace, faultSpec s
 	if faultSpec != "" {
 		ghsnet = true
 	}
+	// Each instance is described by its replayable spec and built through
+	// the same BuildGraph a TCP shard process uses, so every backend —
+	// and every process of a multi-process run — holds the identical
+	// weighted graph.
+	mkSpec := func(kind string, n, d int, gseed uint64) transport.Spec {
+		return transport.Spec{
+			Workload: "ghs", Graph: kind, N: n, D: d,
+			Seed: gseed, SrcSeed: seed + 30, WeightSeed: seed + 7,
+		}
+	}
 	instances := []struct {
 		name string
+		spec transport.Spec
 		g    *graph.Graph
 	}{
-		{"rr64d8", graph.RandomRegular(64, 8, rngutil.NewRand(seed))},
-		{"rr128d8", graph.RandomRegular(128, 8, rngutil.NewRand(seed+1))},
-		{"rr256d8", graph.RandomRegular(256, 8, rngutil.NewRand(seed+2))},
+		{name: "rr64d8", spec: mkSpec("rr", 64, 8, seed)},
+		{name: "rr128d8", spec: mkSpec("rr", 128, 8, seed+1)},
+		{name: "rr256d8", spec: mkSpec("rr", 256, 8, seed+2)},
 		// Poor-expansion contrast rows: τ_mix is the dominating factor.
-		{"ring64", graph.Ring(64)},
-		{"lollipop32+12", graph.Lollipop(32, 12)},
+		{name: "ring64", spec: mkSpec("ring", 64, 0, 0)},
+		{name: "lollipop32+12", spec: mkSpec("lollipop", 32, 12, 0)},
 	}
 	if quick {
 		instances = instances[:1]
+	}
+	for i := range instances {
+		g, err := transport.BuildGraph(instances[i].spec)
+		if err != nil {
+			return err
+		}
+		instances[i].g = g
 	}
 	t := harness.NewTable("E1 — Theorem 1.1: MST round counts",
 		"graph", "n", "τ_mix", "hier alg", "hier +build", "GHS", "KP", "weights agree")
 	var ns, hierR, ghsR, kpR []float64
 	for _, inst := range instances {
 		g := inst.g
-		g.AssignDistinctRandomWeights(rngutil.NewRand(seed + 7))
 		tau, err := spectral.MixingTime(g, spectral.Lazy, 5_000_000)
 		if err != nil {
 			return fmt.Errorf("%s: %w", inst.name, err)
@@ -139,23 +172,25 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace, faultSpec s
 
 	if ghsnet {
 		nt := harness.NewTable(
-			fmt.Sprintf("E1b — node-program GHS on the CONGEST simulator (workers=%d)", workers),
+			fmt.Sprintf("E1b — node-program GHS on the CONGEST simulator (transport=%s, workers=%d)", tr.Name(), workers),
 			"graph", "n", "rounds", "iterations", "weight agrees")
 		for _, inst := range instances {
 			var probe congest.Probe
 			if sink != nil {
 				probe = sink.Label(inst.name)
 			}
-			res, err := mstbase.GHSNetworkObserved(inst.g, rngutil.NewSource(seed+30), workers, probe, sess.Registry())
+			res, err := tr.Run(inst.spec, transport.Options{Probe: probe, Metrics: sess.Registry()})
 			if err != nil {
 				return err
 			}
+			out := res.Output.(workloads.MSTOutput)
+			window := 3*inst.g.N() + 6
 			_, want := mst.Kruskal(inst.g)
-			nt.AddRow(inst.name, inst.g.N(), res.Rounds, res.Iterations, res.Weight == want)
+			nt.AddRow(inst.name, inst.g.N(), res.Rounds, (res.Rounds+window-1)/window, out.Weight == want)
 		}
 		fmt.Println(nt)
-		fmt.Println("Round counts are engine-independent: -workers changes wall-clock only")
-		fmt.Println("(see DESIGN.md §3).")
+		fmt.Println("Round counts are engine- and transport-independent: -workers and")
+		fmt.Println("-transport change wall-clock only (see DESIGN.md §3).")
 
 		if faultSpec != "" {
 			if err := runE15MST(instances[0].g, seed, workers, faultSpec, faultSeed, attempts, sink, sess); err != nil {

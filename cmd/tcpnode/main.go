@@ -1,0 +1,69 @@
+// Command tcpnode is the shard-process endpoint of the TCP transport
+// backend (internal/transport): it dials the coordinator with backoff,
+// rebuilds the workload from the replayed spec, and answers round
+// barriers until the coordinator finishes the run or closes the
+// connection. It is normally spawned by a coordinator binary
+// (-transport=tcp on cmd/walks or cmd/mst), not run by hand.
+//
+// Fault injection for the coordinator's failure tests is env-driven so
+// every shard gets identical argv: TCPNODE_FAIL_SHARD/TCPNODE_FAIL_ROUND
+// make that shard drop its connection at that round's STEP;
+// TCPNODE_STALL_SHARD/TCPNODE_STALL_ROUND make it stop replying while
+// holding the connection open.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"almostmix/internal/cliutil"
+	"almostmix/internal/transport"
+	_ "almostmix/internal/transport/workloads"
+)
+
+func main() {
+	connect := flag.String("connect", "", "coordinator address to dial (host:port, required)")
+	shard := flag.Int("shard", -1, "shard index assigned by the coordinator (required)")
+	dialBudget := flag.Duration("dialbudget", 10*time.Second, "total dial retry budget")
+	flag.Parse()
+	if *connect == "" {
+		cliutil.Fail("missing -connect (coordinator host:port)")
+	}
+	cliutil.Listen("connect", *connect)
+	cliutil.Min("shard", *shard, 0)
+	cliutil.Min("dialbudget", int(*dialBudget), 1)
+
+	cfg := transport.ShardConfig{
+		FailAtRound:  envRoundFor(*shard, "TCPNODE_FAIL_SHARD", "TCPNODE_FAIL_ROUND"),
+		StallAtRound: envRoundFor(*shard, "TCPNODE_STALL_SHARD", "TCPNODE_STALL_ROUND"),
+	}
+	conn, err := transport.DialShard(*connect, *dialBudget)
+	if err == nil {
+		err = transport.ServeShard(conn, *shard, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpnode:", err)
+		os.Exit(1)
+	}
+}
+
+// envRoundFor reads a (shard selector, round) env pair and returns the
+// round when the selector names this shard, else 0 (disabled).
+func envRoundFor(shard int, shardVar, roundVar string) int {
+	sv := os.Getenv(shardVar)
+	if sv == "" {
+		return 0
+	}
+	s, err := strconv.Atoi(sv)
+	if err != nil || s != shard {
+		return 0
+	}
+	r, err := strconv.Atoi(os.Getenv(roundVar))
+	if err != nil || r < 1 {
+		cliutil.Fail("invalid %s %q: need a round >= 1", roundVar, os.Getenv(roundVar))
+	}
+	return r
+}

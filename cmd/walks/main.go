@@ -21,6 +21,8 @@ import (
 	"almostmix/internal/randomwalk"
 	"almostmix/internal/rngutil"
 	"almostmix/internal/spectral"
+	"almostmix/internal/transport"
+	"almostmix/internal/transport/workloads"
 )
 
 func main() {
@@ -36,6 +38,10 @@ func main() {
 	faultSpec := flag.String("faults", "", `run the E15 degradation sweep with this fault spec as its custom row, e.g. "drop=0.05,delay=0.1:3" (see DESIGN.md §3)`)
 	faultSeed := flag.Uint64("faultseed", 1, "fault-injection seed for -faults (independent of -seed)")
 	attempts := flag.Int("attempts", 5, "max network runs per faulty execution before declaring tokens lost")
+	transportName := flag.String("transport", "proc", "node-program execution backend: proc (in-process engines) or tcp (one OS process per shard over loopback TCP); results are identical")
+	shards := flag.Int("shards", 2, "node processes for -transport=tcp")
+	listen := flag.String("listen", "127.0.0.1:0", "coordinator listen address for -transport=tcp")
+	tcpnode := flag.String("tcpnode", "", "path to the tcpnode binary for -transport=tcp (default: next to this binary)")
 	flag.Parse()
 	cliutil.Min("n", *n, 2)
 	cliutil.Min("d", *d, 1)
@@ -43,13 +49,23 @@ func main() {
 	cliutil.Workers("workers", *workers)
 	cliutil.Min("attempts", *attempts, 1)
 	cliutil.FaultSpec("faults", *faultSpec)
+	cliutil.Transport("transport", *transportName)
+	cliutil.Min("shards", *shards, 1)
+	cliutil.Listen("listen", *listen)
+	if *transportName == "tcp" && *faultSpec != "" {
+		cliutil.Fail("-faults needs -transport=proc: shard replicas cannot observe global fault state (see DESIGN.md)")
+	}
 	cliutil.Writable("trace", *trace)
 	cliutil.Writable("metrics", *metricsOut)
 	cliutil.Writable("pprofout", *pprofOut)
+	tr, err := transport.NewBackend(*transportName, *workers, *shards, *listen, *tcpnode)
+	if err != nil {
+		cliutil.Fail("%v", err)
+	}
 
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
-		err = run(*n, *d, *steps, *seed, *workers, *trace, *faultSpec, *faultSeed, *attempts, sess)
+		err = run(*n, *d, *steps, *seed, *workers, *trace, *faultSpec, *faultSeed, *attempts, tr, sess)
 		if cerr := sess.Close(); err == nil {
 			err = cerr
 		}
@@ -60,7 +76,7 @@ func main() {
 	}
 }
 
-func run(n, d, steps int, seed uint64, workers int, trace, faultSpec string, faultSeed uint64, attempts int, sess *metrics.Session) error {
+func run(n, d, steps int, seed uint64, workers int, trace, faultSpec string, faultSeed uint64, attempts int, tr transport.Transport, sess *metrics.Session) error {
 	var sink *congest.TraceSink
 	if trace != "" || sess.Registry() != nil {
 		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
@@ -90,32 +106,37 @@ func run(n, d, steps int, seed uint64, workers int, trace, faultSpec string, fau
 	fmt.Println("Lemma 2.4 holds if max tokens/node is O(k·d + log n); Lemma 2.5 if")
 	fmt.Println("rounds/step is O(k + log n). Constant factors near 1–4 are expected.")
 
-	// Node-program tier: the same token load simulated message by message.
-	// The makespan exceeds T by exactly the port-contention queueing that
-	// Lemma 2.5's phases budget for.
+	// Node-program tier: the same token load simulated message by message,
+	// routed through the Transport interface so -transport=tcp runs it as
+	// real processes. The makespan exceeds T by exactly the
+	// port-contention queueing that Lemma 2.5's phases budget for.
 	et := harness.NewTable(
-		fmt.Sprintf("E4b — node-program walks on the CONGEST engine (workers=%d)", workers),
+		fmt.Sprintf("E4b — node-program walks on the CONGEST engine (transport=%s, workers=%d)", tr.Name(), workers),
 		"k", "tokens", "messages", "makespan rounds", "rounds/step")
 	for _, k := range []int{1, 2, 4} {
 		var probe congest.Probe
 		if sink != nil {
 			probe = sink.Label(fmt.Sprintf("E4b k=%d", k))
 		}
-		res, err := randomwalk.RunNetworkObserved(g, randomwalk.UniformCountTimesDegree(g, k),
-			steps, rngutil.NewSource(seed+100+uint64(k)), workers, probe, sess.Registry())
+		res, err := tr.Run(transport.Spec{
+			Workload: "walks",
+			Graph:    "rr",
+			N:        n,
+			D:        d,
+			K:        k,
+			Steps:    steps,
+			Seed:     seed,
+			SrcSeed:  seed + 100 + uint64(k),
+		}, transport.Options{Probe: probe, Metrics: sess.Registry()})
 		if err != nil {
 			return err
 		}
-		total := 0
-		for _, c := range res.ArrivedAt {
-			total += c
-		}
-		et.AddRow(k, total, res.Messages, res.Rounds,
+		et.AddRow(k, res.Output.(workloads.WalksOutput).Arrived, res.Messages, res.Rounds,
 			float64(res.Rounds)/float64(steps))
 	}
 	fmt.Println(et)
-	fmt.Println("Engine results are bit-identical for every -workers value; the flag")
-	fmt.Println("changes wall-clock time only (see DESIGN.md §3).")
+	fmt.Println("Engine results are bit-identical for every -workers and -transport")
+	fmt.Println("value; the flags change wall-clock time only (see DESIGN.md §3).")
 
 	if faultSpec != "" {
 		if err := runE15(g, steps, seed, workers, faultSpec, faultSeed, attempts, sink, sess); err != nil {

@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 
@@ -36,6 +37,27 @@ func Min(name string, v, lo int) {
 func Workers(name string, v int) {
 	if v < 0 {
 		Fail("invalid -%s %d: must be >= 0 (0 = one worker per CPU)", name, v)
+	}
+}
+
+// Transport rejects execution backends other than the known names. The
+// valid set lives here (not in internal/transport) so the usage error
+// stays a flag-validation failure with exit code 2, uniform with every
+// other bad flag.
+func Transport(name, v string) {
+	if v != "proc" && v != "tcp" {
+		Fail("invalid -%s %q: must be proc or tcp", name, v)
+	}
+}
+
+// Listen rejects coordinator listen addresses that are not host:port
+// shaped (":0" and "127.0.0.1:0" pass; a bare hostname or port does not).
+func Listen(name, v string) {
+	if v == "" {
+		return
+	}
+	if _, _, err := net.SplitHostPort(v); err != nil {
+		Fail("invalid -%s %q: %v", name, v, err)
 	}
 }
 

@@ -23,8 +23,10 @@ package congest
 //   - duplication/delay faults: not zero in general, because duplicated
 //     deliveries regrow inboxes past the arena subslice and delayed
 //     messages grow per-receiver pending queues; both retain their
-//     capacity, so the cost amortizes to ~0 and is bounded below 1
-//     alloc/round here;
+//     capacity, so the cost amortizes downward with the window length
+//     (measured ~0.54 allocs/round at 48 rounds, ~0.38 at 384, on the
+//     gate's exact configuration) and is asserted below
+//     growthFaultAllocBound;
 //   - retaining probes (TraceSink): O(1) records retained per round by
 //     design — that cost belongs to the sink, not the engines, and is
 //     deliberately not asserted to be zero.
@@ -127,19 +129,36 @@ func TestSteadyRoundsZeroAlloc(t *testing.T) {
 	}
 }
 
+// growthFaultAllocBound is the measured regression bound for the one
+// documented exception to the zero gate. On the exact configuration
+// asserted below — RingLattice(512,4), sequential engine, spec
+// "dup=0.1,delay=0.2:2", 48-round differential window — repeated
+// measurement gives 0.50–0.55 allocs/round (max observed 0.5417), and
+// the rate falls with longer windows (~0.38 at 384 rounds), confirming
+// the cost is buffer regrowth that amortizes rather than a per-round
+// leak. The residual sits ABOVE steadyAllocNoiseFloor because dup
+// regrows inboxes past their arena subslices and delay maintains
+// per-receiver pending queues, so this gate carries its own threshold:
+// 0.75 leaves headroom over the observed max while still tripping
+// decisively on any real regression, which costs at least one whole
+// allocation per round (usually per message, i.e. hundreds here).
+const growthFaultAllocBound = 0.75
+
 // TestSteadyRoundsGrowthFaultsBounded pins the one documented exception:
 // duplication and delay fates regrow inbox and pending buffers, which
-// retain their capacity — so the steady cost must amortize to well under
-// one allocation per round rather than to exactly zero.
+// retain their capacity — so the steady cost must stay under the
+// measured bound rather than under the integer-zero noise floor.
 func TestSteadyRoundsGrowthFaultsBounded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential alloc measurement is not -short")
 	}
 	g := graph.RingLattice(512, 4)
 	per := MeasureSteadyAllocs(steadyBuilder(g, 1, false, "dup=0.1,delay=0.2:2"), 48)
-	if per >= 1 {
-		t.Fatalf("duplication/delay faults allocate %.3f/round, want amortized < 1", per)
+	if per >= growthFaultAllocBound {
+		t.Fatalf("duplication/delay faults allocate %.3f/round, want < %.2f (measured ~0.54 max)",
+			per, growthFaultAllocBound)
 	}
+	t.Logf("dup/delay steady cost %.4f allocs/round (bound %.2f)", per, growthFaultAllocBound)
 }
 
 // TestPortOfMatchesMapReference is the differential property test for

@@ -276,8 +276,22 @@ func (n *Network) Messages() int {
 // bit-identical across all settings; only wall-clock time changes. The
 // receiver returns itself so construction can chain.
 func (n *Network) SetWorkers(w int) *Network {
+	n.mustConfigure("SetWorkers")
 	n.workers = normalizeWorkers(w)
 	return n
+}
+
+// mustConfigure panics when a Set* option is applied after the network has
+// started. A Network is single-use (see ErrNetworkReused): once Run (or a
+// Shard) has consumed it, reconfiguring it cannot take effect and would
+// silently mutate a spent network — worse, a probe or fault plan attached
+// between two Run calls would make the ErrNetworkReused failure look like
+// a partially-configured run. Configuration after start is therefore a
+// caller bug and fails loudly, like Send on an invalid port.
+func (n *Network) mustConfigure(option string) {
+	if n.started {
+		panic(fmt.Sprintf("congest: %s after Run on a single-use network (configure before the first Run)", option))
+	}
 }
 
 // Graph returns the underlying graph.

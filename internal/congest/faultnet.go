@@ -39,9 +39,10 @@ package congest
 import "almostmix/internal/faults"
 
 // SetFaults attaches a fault-injection plan to the network (nil
-// detaches). Like SetProbe it must be called before Run; the receiver
-// returns itself so construction can chain.
+// detaches). Like SetProbe it must be called before Run and panics
+// afterwards; the receiver returns itself so construction can chain.
 func (n *Network) SetFaults(plan *faults.Plan) *Network {
+	n.mustConfigure("SetFaults")
 	n.faultPlan = plan
 	return n
 }

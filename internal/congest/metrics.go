@@ -30,9 +30,10 @@ import (
 )
 
 // SetMetrics attaches a host-metrics registry to the network (nil
-// detaches). Like SetProbe it must be called before Run; the receiver
-// returns itself so construction can chain.
+// detaches). Like SetProbe it must be called before Run and panics
+// afterwards; the receiver returns itself so construction can chain.
 func (n *Network) SetMetrics(reg *metrics.Registry) *Network {
+	n.mustConfigure("SetMetrics")
 	n.reg = reg
 	return n
 }

@@ -154,8 +154,10 @@ func (m MultiProbe) RunEnd(rounds int, err error) {
 }
 
 // SetProbe attaches a probe to the network (nil detaches). It must be set
-// before Run; the receiver returns itself so construction can chain.
+// before Run — attaching one later panics (see mustConfigure); the
+// receiver returns itself so construction can chain.
 func (n *Network) SetProbe(p Probe) *Network {
+	n.mustConfigure("SetProbe")
 	n.probe = p
 	return n
 }

@@ -1,0 +1,235 @@
+package congest
+
+// Shard execution: the congest-side half of the TCP transport backend
+// (internal/transport). A Shard drives a contiguous node range [lo, hi)
+// of a Network replica under an external coordinator, exposing the
+// engine's two phases (deliver, step) as explicit calls so the
+// coordinator can run the round barriers over the wire.
+//
+// Every participating process builds the SAME full Network from the
+// replayable workload spec — topology, arenas and per-node RNG streams
+// are identical everywhere — but each process only ever runs the
+// programs of its own range. Cross-shard traffic needs no delivery code
+// of its own: an inbound remote message is staged by setting the
+// remote sender's outbox slot in the local replica (Inject), after
+// which the unmodified deliverTo — THE canonical delivery point —
+// assembles the receiver's inbox in port order exactly as the
+// in-process engines do. That is what makes TCP-backed traces
+// byte-identical to the sequential engine: there is only one delivery
+// order in the codebase, and the wire backend reuses it.
+//
+// The coordinator-facing contract mirrors the in-process round loop
+// (runSequential) phase for phase:
+//
+//	Init()                       — run Init for owned nodes (round 0)
+//	Inject(...); Deliver()       — stage remote sends, build inboxes
+//	Step()                       — advance the round, run owned programs
+//	ExternalSends(...)           — enumerate owned sends that leave the shard
+//	DrainEvents(...)             — marks/halts of owned nodes, ID order
+//
+// Fault plans are rejected: fault fates hash over global delivery
+// state that a shard replica cannot observe for non-owned senders, so
+// a faulty wire run would silently diverge from the in-process
+// engines. The TCP backend refuses -faults loudly instead.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// shardBoundary is one directed cross-shard port pair: an owned node's
+// port facing a remote neighbor. The remote side's (node, port) is both
+// the destination of outbound traffic over this edge and the staging
+// slot Inject writes for inbound traffic over the reverse edge.
+type shardBoundary struct {
+	owner      int32 // owned node
+	ownerPort  int32 // port at owner facing the remote neighbor
+	remote     int32 // the remote neighbor
+	remotePort int32 // port at the remote neighbor facing owner
+}
+
+// Shard drives nodes [lo, hi) of a single-use Network under an external
+// coordinator. Obtain one with NewShard; the Network must not be run or
+// reconfigured afterwards (NewShard consumes its single use).
+type Shard struct {
+	net      *Network
+	lo, hi   int
+	boundary []shardBoundary
+}
+
+// NewShard consumes net and returns the shard harness for nodes
+// [lo, hi). The network must be freshly built: NewShard claims its
+// single use (a second NewShard or Run returns ErrNetworkReused) and
+// rejects attached fault plans. Probes attached to the replica are
+// ignored — observability is drained by the coordinator through
+// DrainEvents instead, so event collection is always on.
+func NewShard(net *Network, lo, hi int) (*Shard, error) {
+	if lo < 0 || hi > net.topo.n || lo > hi {
+		return nil, fmt.Errorf("congest: shard range [%d, %d) outside nodes [0, %d)", lo, hi, net.topo.n)
+	}
+	if net.faultPlan != nil {
+		return nil, errors.New("congest: shard execution does not support fault plans (run faults on the in-process engines)")
+	}
+	// Event collection (marks, halt rounds) is gated on an attached
+	// probe; the shard always collects so the coordinator can rebuild
+	// the canonical event stream. The probe itself never fires here.
+	net.probe = NopProbe{}
+	if err := net.begin(); err != nil {
+		return nil, err
+	}
+	s := &Shard{net: net, lo: lo, hi: hi}
+	t := net.topo
+	for u := lo; u < hi; u++ {
+		ulo, uhi := t.start[u], t.start[u+1]
+		for i := ulo; i < uhi; i++ {
+			nbr := int(t.to[i])
+			if nbr >= lo && nbr < hi {
+				continue
+			}
+			s.boundary = append(s.boundary, shardBoundary{
+				owner:      int32(u),
+				ownerPort:  i - ulo,
+				remote:     t.to[i],
+				remotePort: t.rev[i],
+			})
+		}
+	}
+	return s, nil
+}
+
+// Nodes returns the owned half-open node range.
+func (s *Shard) Nodes() (lo, hi int) { return s.lo, s.hi }
+
+// Init runs Init for every owned node (round 0). Marks and halts it
+// emits are drained by the following DrainEvents call.
+func (s *Shard) Init() {
+	for v := s.lo; v < s.hi; v++ {
+		s.net.programs[v].Init(&s.net.ctxs[v])
+	}
+}
+
+// Inject stages one remote message for delivery to owned node dst on
+// the given port, by setting the sending neighbor's outbox slot in the
+// local replica. The next Deliver picks it up through the canonical
+// port-ordered scan. It is a protocol error — not a silent drop — to
+// inject onto an intra-shard port or twice onto the same port in one
+// round.
+func (s *Shard) Inject(dst, port int, payload Message) error {
+	if dst < s.lo || dst >= s.hi {
+		return fmt.Errorf("congest: inject to node %d outside shard [%d, %d)", dst, s.lo, s.hi)
+	}
+	t := s.net.topo
+	if port < 0 || port >= t.degree(dst) {
+		return fmt.Errorf("congest: inject to node %d on invalid port %d", dst, port)
+	}
+	i := t.start[dst] + int32(port)
+	from := int(t.to[i])
+	if from >= s.lo && from < s.hi {
+		return fmt.Errorf("congest: inject to node %d port %d crosses no shard boundary (sender %d is owned)", dst, port, from)
+	}
+	sender := &s.net.ctxs[from]
+	sp := t.rev[i]
+	if sender.sent[sp] {
+		return fmt.Errorf("congest: duplicate inject to node %d port %d", dst, port)
+	}
+	sender.sent[sp] = true
+	sender.outbox[sp] = payload
+	return nil
+}
+
+// Deliver builds the inbox of every owned node for the round about to
+// execute and returns the number of messages delivered to this shard.
+// It then clears the staged remote slots, restoring the replica's
+// non-owned state to empty for the next round. Message counting is
+// unaffected: sends are counted at the sending shard only.
+func (s *Shard) Deliver() int {
+	delivered := 0
+	for u := s.lo; u < s.hi; u++ {
+		delivered += s.net.deliverTo(u, 0)
+	}
+	for _, b := range s.boundary {
+		rctx := &s.net.ctxs[b.remote]
+		if rctx.sent[b.remotePort] {
+			rctx.sent[b.remotePort] = false
+			rctx.outbox[b.remotePort] = nil
+		}
+	}
+	return delivered
+}
+
+// Inbox returns the inbox built by the last Deliver for owned node u.
+// Borrowed: valid until the next Deliver, for coordinator-side stats.
+func (s *Shard) Inbox(u int) []Inbound { return s.net.inboxes[u] }
+
+// Step advances the replica's round counter and runs Step for every
+// owned non-halted node, mirroring the in-process step phase (outboxes
+// cleared for all owned nodes, halted ones skipped). It returns the
+// number of nodes that executed Step.
+func (s *Shard) Step() (active int) {
+	s.net.rounds++
+	for v := s.lo; v < s.hi; v++ {
+		ctx := &s.net.ctxs[v]
+		ctx.clearOutbox()
+		if ctx.halted {
+			continue
+		}
+		active++
+		s.net.programs[v].Step(ctx, s.net.inboxes[v])
+	}
+	return active
+}
+
+// ExternalSends calls fn for every queued send of an owned node whose
+// receiver lives outside the shard, in (node ID, port) order — the
+// coordinator relays these to the owning shards. dstPort is the port AT
+// THE RECEIVER, i.e. the argument the receiving shard passes to Inject.
+func (s *Shard) ExternalSends(fn func(dst, dstPort int, payload Message)) {
+	for _, b := range s.boundary {
+		ctx := &s.net.ctxs[b.owner]
+		if ctx.sent[b.ownerPort] {
+			fn(int(b.remote), int(b.remotePort), ctx.outbox[b.ownerPort])
+		}
+	}
+}
+
+// DrainEvents forwards the queued phase marks and halt events of owned
+// nodes in node-ID order (marks in emission order first, then the halt
+// event), exactly like the in-process probe drain, and clears them.
+func (s *Shard) DrainEvents(mark func(node, round int, name string), halted func(node, round int)) {
+	for v := s.lo; v < s.hi; v++ {
+		ctx := &s.net.ctxs[v]
+		if len(ctx.marks) > 0 {
+			for _, m := range ctx.marks {
+				mark(v, m.round, m.name)
+			}
+			ctx.marks = ctx.marks[:0]
+		}
+		if ctx.justHalted {
+			ctx.justHalted = false
+			halted(v, ctx.haltRound)
+		}
+	}
+}
+
+// HaltedCount returns the number of owned nodes that have halted.
+func (s *Shard) HaltedCount() int {
+	halted := 0
+	for v := s.lo; v < s.hi; v++ {
+		if s.net.ctxs[v].halted {
+			halted++
+		}
+	}
+	return halted
+}
+
+// Messages returns the messages sent so far by owned nodes.
+func (s *Shard) Messages() int {
+	total := 0
+	for v := s.lo; v < s.hi; v++ {
+		total += s.net.ctxs[v].msgs
+	}
+	return total
+}
+
+// Rounds returns the replica's round counter.
+func (s *Shard) Rounds() int { return s.net.rounds }

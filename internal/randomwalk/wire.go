@@ -1,0 +1,68 @@
+package randomwalk
+
+// Wire adapters for the transport layer (internal/transport): an
+// exported builder for the node-program walk workload plus the byte
+// codec for its (unexported) token payload. See
+// internal/congest/wire.go for the codec contract.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/graph"
+)
+
+// WalkPrograms returns the per-node programs of RunNetworkObserved —
+// counts[v] tokens start at node v, each making exactly steps uniform
+// hops — plus the shared arrival-count slice and the round budget. Run
+// with RunUntilQuiet; arrived[v] is valid only on the process owning
+// node v. Panics on invalid counts/steps like RunNetworkObserved.
+func WalkPrograms(g *graph.Graph, counts []int, steps int) (programs []congest.Program, arrived []int, maxRounds int) {
+	if len(counts) != g.N() {
+		panic(fmt.Sprintf("randomwalk: %d counts for %d nodes", len(counts), g.N()))
+	}
+	if steps < 0 {
+		panic("randomwalk: negative step count")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	arrived = make([]int, g.N())
+	programs = make([]congest.Program, g.N())
+	for v := range programs {
+		programs[v] = &walkNode{steps: steps, counts: counts, arrived: arrived}
+	}
+	return programs, arrived, total*steps + 4
+}
+
+// EncodeWalkPayload appends the canonical encoding of a walk token.
+func EncodeWalkPayload(buf []byte, m congest.Message) ([]byte, error) {
+	tok, ok := m.(walkToken)
+	if !ok {
+		return nil, fmt.Errorf("randomwalk: walk payload codec got %T", m)
+	}
+	buf = binary.AppendUvarint(buf, uint64(tok.Left))
+	buf = binary.AppendUvarint(buf, uint64(tok.Origin))
+	return binary.AppendUvarint(buf, uint64(tok.Seq)), nil
+}
+
+// DecodeWalkPayload parses the bytes EncodeWalkPayload produced.
+func DecodeWalkPayload(b []byte) (congest.Message, error) {
+	left, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("randomwalk: malformed walk payload")
+	}
+	b = b[n:]
+	origin, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("randomwalk: malformed walk payload")
+	}
+	b = b[n:]
+	seq, n := binary.Uvarint(b)
+	if n <= 0 || n != len(b) {
+		return nil, fmt.Errorf("randomwalk: malformed walk payload")
+	}
+	return walkToken{Left: int32(left), Origin: int32(origin), Seq: int32(seq)}, nil
+}

@@ -1,0 +1,32 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// NewBackend resolves a -transport flag value into a backend. For tcp,
+// an empty nodeBin defaults to a "tcpnode" binary next to the calling
+// executable, and either way the binary must exist — a missing shard
+// runtime should fail here, not as k dial timeouts mid-run.
+func NewBackend(name string, workers, shards int, listen, nodeBin string) (Transport, error) {
+	switch name {
+	case "proc":
+		return Proc{Workers: workers}, nil
+	case "tcp":
+		if nodeBin == "" {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("transport: locating own executable for the tcpnode default: %w", err)
+			}
+			nodeBin = filepath.Join(filepath.Dir(exe), "tcpnode")
+		}
+		if _, err := os.Stat(nodeBin); err != nil {
+			return nil, fmt.Errorf("transport: tcpnode binary: %w (build cmd/tcpnode next to this binary or pass -tcpnode)", err)
+		}
+		return TCP{Shards: shards, ListenAddr: listen, NodeBin: nodeBin}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown backend %q (known: proc, tcp)", name)
+	}
+}

@@ -1,0 +1,578 @@
+package transport
+
+// The TCP backend's coordinator: it listens on loopback (or any
+// host:port), spawns one cmd/tcpnode process per shard, and drives the
+// engine's round structure as wire barriers:
+//
+//	HELLO/SPEC    handshake: version + shard index, replayable spec
+//	INIT→INITACK  round 0: Init on every shard, drain its events/sends
+//	per round:
+//	  DELIVER→DELIVERED   relay cross-shard messages, build inboxes
+//	  (quiet check — same position as the in-process engines)
+//	  STEP→STEPPED        run programs, drain events and new sends
+//	FINISH→FINAL  harvest message counts and workload outputs
+//
+// The two barriers per round replicate the sequential engine's phase
+// ordering exactly — in particular the quiet check sits between deliver
+// and step, before the round counter advances — so the probe stream the
+// coordinator synthesizes (marks/halts in node order, then one
+// RoundEnd rebuilt from the shards' inbox profiles) is byte-identical
+// to a sequential in-process run of the same spec.
+//
+// Failure policy: every read carries a deadline. A shard that dies
+// mid-round (or wedges) surfaces as a clean shard-attributed error
+// within one timeout, never a hang; remaining processes are killed on
+// the way out.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/metrics"
+)
+
+// ShardHandle controls one spawned shard runtime.
+type ShardHandle struct {
+	// Wait blocks until the shard exits and reports its exit error.
+	Wait func() error
+	// Kill force-terminates the shard; safe after exit.
+	Kill func()
+}
+
+// SpawnFunc starts the shard runtime for one shard index, told to dial
+// the coordinator at addr. The default spawner execs the NodeBin
+// binary; tests substitute in-process goroutines to put the whole
+// protocol under the race detector.
+type SpawnFunc func(shard int, addr string) (ShardHandle, error)
+
+// TCP runs workloads across real processes over TCP. The zero value is
+// not usable: Shards and (unless Spawn is set) NodeBin are required.
+type TCP struct {
+	// Shards is the number of node processes (1 ≤ Shards ≤ spec nodes).
+	Shards int
+	// ListenAddr is the coordinator's listen address, default
+	// "127.0.0.1:0" (loopback, kernel-assigned port).
+	ListenAddr string
+	// NodeBin is the tcpnode binary the default spawner execs.
+	NodeBin string
+	// Timeout bounds every wire barrier (accept, per-frame read, flush)
+	// and the post-run process wait; default 60s.
+	Timeout time.Duration
+	// Spawn overrides process spawning (tests); nil execs NodeBin.
+	Spawn SpawnFunc
+}
+
+// Name implements Transport.
+func (TCP) Name() string { return "tcp" }
+
+func (t TCP) timeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return 60 * time.Second
+}
+
+// Run implements Transport.
+func (t TCP) Run(spec Spec, opts Options) (Result, error) {
+	wl, err := Lookup(spec.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	inst, err := wl.Build(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if wl.Encode == nil || wl.Decode == nil {
+		return Result{}, fmt.Errorf("transport: workload %q has no payload codec, cannot run over tcp", spec.Workload)
+	}
+	n := inst.Graph.N()
+	if t.Shards < 1 || t.Shards > n {
+		return Result{}, fmt.Errorf("transport: %d shards for %d nodes (need 1 ≤ shards ≤ n)", t.Shards, n)
+	}
+	c := &coordinator{
+		tcp:  t,
+		spec: spec,
+		inst: inst,
+		opts: opts,
+	}
+	return c.run()
+}
+
+// coordinator is the per-run state of a TCP backend execution.
+type coordinator struct {
+	tcp  TCP
+	spec Spec
+	inst *Instance
+	opts Options
+
+	conns   []*frameConn
+	handles []ShardHandle
+	bounds  []int // bounds[i], bounds[i+1] = shard i's node range
+
+	rounds  int
+	halted  int
+	relayed int64
+	// pending[i] holds the cross-shard messages to relay to shard i in
+	// the next DELIVER, payload bytes owned by pendingBuf.
+	pending    [][]wireSend
+	pendingBuf [][]byte
+
+	// Probe scratch, mirroring congest's probeState.
+	slots      *congest.SlotTable
+	inboxSizes []int
+	edgeLoad   []int64
+	touched    []int
+	rec        congest.RoundRecord
+}
+
+func (c *coordinator) run() (res Result, err error) {
+	t0 := time.Now()
+	addr := c.tcp.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return Result{}, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+
+	k := c.tcp.Shards
+	n := c.inst.Graph.N()
+	c.bounds = make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		c.bounds[i] = i * n / k
+	}
+	c.pending = make([][]wireSend, k)
+	c.pendingBuf = make([][]byte, k)
+
+	defer func() {
+		for _, fc := range c.conns {
+			if fc != nil {
+				fc.conn.Close()
+			}
+		}
+		c.reap(err != nil)
+	}()
+
+	spawn := c.tcp.Spawn
+	if spawn == nil {
+		spawn = c.execSpawner()
+	}
+	for i := 0; i < k; i++ {
+		h, err := spawn(i, ln.Addr().String())
+		if err != nil {
+			return Result{}, fmt.Errorf("transport: spawn shard %d: %w", i, err)
+		}
+		c.handles = append(c.handles, h)
+	}
+	if err := c.accept(ln); err != nil {
+		return Result{}, err
+	}
+	if err := c.sendSpec(); err != nil {
+		return Result{}, err
+	}
+
+	res, err = c.drive()
+
+	// Observability epilogue on every path, like the engines' finish().
+	if p := c.opts.Probe; p != nil {
+		p.RunEnd(c.rounds, err)
+	}
+	if reg := c.opts.Metrics; reg != nil {
+		c.metricsEnd(reg, time.Since(t0))
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// execSpawner is the default SpawnFunc: exec the tcpnode binary with
+// the shard index and coordinator address, stderr passed through.
+func (c *coordinator) execSpawner() SpawnFunc {
+	bin := c.tcp.NodeBin
+	return func(shard int, addr string) (ShardHandle, error) {
+		if bin == "" {
+			return ShardHandle{}, errors.New("transport: TCP.NodeBin not set (path to the tcpnode binary)")
+		}
+		cmd := exec.Command(bin, "-connect", addr, "-shard", strconv.Itoa(shard))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return ShardHandle{}, err
+		}
+		return ShardHandle{
+			Wait: cmd.Wait,
+			Kill: func() { cmd.Process.Kill() },
+		}, nil
+	}
+}
+
+// accept collects one HELLO-identified connection per shard, all under
+// the barrier deadline.
+func (c *coordinator) accept(ln net.Listener) error {
+	deadline := time.Now().Add(c.tcp.timeout())
+	c.conns = make([]*frameConn, c.tcp.Shards)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for got := 0; got < c.tcp.Shards; got++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accepting shard connections (%d/%d): %w", got, c.tcp.Shards, err)
+		}
+		fc := newFrameConn(conn)
+		conn.SetReadDeadline(deadline)
+		typ, body, err := fc.read()
+		if err != nil || typ != frameHello {
+			conn.Close()
+			return fmt.Errorf("transport: shard handshake: type=%d err=%v", typ, err)
+		}
+		shard, err := parseHello(body)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if shard < 0 || shard >= c.tcp.Shards || c.conns[shard] != nil {
+			conn.Close()
+			return fmt.Errorf("transport: bad or duplicate shard index %d in handshake", shard)
+		}
+		c.conns[shard] = fc
+	}
+	return nil
+}
+
+func (c *coordinator) sendSpec() error {
+	body, err := json.Marshal(wireSpec{Version: wireVersion, Shards: c.tcp.Shards, Spec: c.spec})
+	if err != nil {
+		return fmt.Errorf("transport: encode spec: %w", err)
+	}
+	return c.broadcast(frameSpec, func(int) []byte { return body })
+}
+
+// broadcast writes one frame to every shard (payload built per shard)
+// and flushes, under a write deadline.
+func (c *coordinator) broadcast(typ byte, payload func(shard int) []byte) error {
+	deadline := time.Now().Add(c.tcp.timeout())
+	for i, fc := range c.conns {
+		fc.conn.SetWriteDeadline(deadline)
+		if err := fc.write(typ, payload(i)); err != nil {
+			return fmt.Errorf("transport: shard %d: write: %w", i, err)
+		}
+		if err := fc.flush(); err != nil {
+			return fmt.Errorf("transport: shard %d: flush: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// expect reads one frame of the given type from shard i under the
+// barrier deadline.
+func (c *coordinator) expect(i int, want byte, deadline time.Time) ([]byte, error) {
+	fc := c.conns[i]
+	fc.conn.SetReadDeadline(deadline)
+	typ, body, err := fc.read()
+	if err != nil {
+		return nil, fmt.Errorf("transport: shard %d: read: %w", i, err)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("transport: shard %d: frame type %d, want %d", i, typ, want)
+	}
+	return body, nil
+}
+
+// drive runs the round loop after the handshake.
+func (c *coordinator) drive() (Result, error) {
+	g := c.inst.Graph
+	n := g.N()
+	if p := c.opts.Probe; p != nil {
+		c.slots = congest.NewSlotTable(g)
+		c.inboxSizes = make([]int, n)
+		c.edgeLoad = make([]int64, 2*g.M())
+		p.RunStart(congest.RunInfo{
+			Engine:  "tcpnet",
+			Workers: c.tcp.Shards,
+			Nodes:   n,
+			Edges:   g.M(),
+		})
+	}
+
+	// Round 0: Init everywhere, drain its events and outbound sends.
+	if err := c.broadcast(frameInit, func(int) []byte { return nil }); err != nil {
+		return Result{}, err
+	}
+	var reply stepReply
+	var delivered deliveredReply
+	deadline := time.Now().Add(c.tcp.timeout())
+	for i := range c.conns {
+		body, err := c.expect(i, frameInitAck, deadline)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := parseStepReply(body, &reply); err != nil {
+			return Result{}, fmt.Errorf("transport: shard %d: %w", i, err)
+		}
+		c.absorbReply(i, &reply)
+	}
+
+	deliveredCounter, roundsCounter := c.metricsStart()
+
+	for r := 0; r < c.inst.MaxRounds; r++ {
+		if c.halted == n {
+			return c.harvest(nil)
+		}
+		// Deliver barrier: relay the pending cross-shard messages, get
+		// back each shard's delivery profile.
+		if err := c.broadcast(frameDeliver, c.takeDeliverBody); err != nil {
+			return Result{}, err
+		}
+		deadline = time.Now().Add(c.tcp.timeout())
+		deliveredTotal := 0
+		for i := range c.conns {
+			body, err := c.expect(i, frameDelivered, deadline)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := parseDeliveredReply(body, c.bounds[i+1]-c.bounds[i], &delivered); err != nil {
+				return Result{}, fmt.Errorf("transport: shard %d: %w", i, err)
+			}
+			deliveredTotal += delivered.delivered
+			c.absorbProfile(i, &delivered)
+		}
+		if c.inst.Quiet && r > 0 && deliveredTotal == 0 {
+			return c.harvest(nil)
+		}
+		c.rounds++
+		// Step barrier: everyone advances one round; events, halt
+		// counts and the next round's cross-shard sends come back.
+		if err := c.broadcast(frameStep, func(int) []byte { return nil }); err != nil {
+			return Result{}, err
+		}
+		deadline = time.Now().Add(c.tcp.timeout())
+		active := 0
+		c.halted = 0
+		for i := range c.conns {
+			body, err := c.expect(i, frameStepped, deadline)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := parseStepReply(body, &reply); err != nil {
+				return Result{}, fmt.Errorf("transport: shard %d: %w", i, err)
+			}
+			active += reply.active
+			c.absorbReply(i, &reply)
+		}
+		c.roundEnd(deliveredTotal, active)
+		if deliveredCounter != nil {
+			deliveredCounter.Add(int64(deliveredTotal))
+			roundsCounter.Add(1)
+		}
+	}
+	if c.halted == n {
+		return c.harvest(nil)
+	}
+	return Result{}, fmt.Errorf("transport: after %d rounds: %w", c.rounds, congest.ErrRoundLimit)
+}
+
+// absorbReply folds one INITACK/STEPPED into coordinator state: replay
+// its probe events (shards arrive in node order, so replay order is the
+// canonical one), update the halt tally, and buffer its outbound sends
+// for the next DELIVER.
+func (c *coordinator) absorbReply(shard int, r *stepReply) {
+	if p := c.opts.Probe; p != nil {
+		for _, e := range r.events {
+			if e.halt {
+				p.NodeHalted(e.node, e.round)
+			} else {
+				p.PhaseMark(e.node, e.round, e.name)
+			}
+		}
+	}
+	c.halted += r.halted
+	n := c.inst.Graph.N()
+	k := c.tcp.Shards
+	for _, s := range r.sends {
+		dst := min(s.dst*k/n, k-1)
+		// Resolve the owning shard exactly: bounds are contiguous, so a
+		// linear fixup of the estimate terminates in O(1) expected.
+		for s.dst < c.bounds[dst] {
+			dst--
+		}
+		for s.dst >= c.bounds[dst+1] {
+			dst++
+		}
+		off := len(c.pendingBuf[dst])
+		c.pendingBuf[dst] = append(c.pendingBuf[dst], s.payload...)
+		c.pending[dst] = append(c.pending[dst], wireSend{
+			dst:     s.dst,
+			port:    s.port,
+			payload: c.pendingBuf[dst][off:],
+		})
+		c.relayed++
+	}
+}
+
+// takeDeliverBody serializes and clears shard i's pending batch.
+func (c *coordinator) takeDeliverBody(i int) []byte {
+	body := appendSends(nil, c.pending[i])
+	c.pending[i] = c.pending[i][:0]
+	c.pendingBuf[i] = c.pendingBuf[i][:0]
+	return body
+}
+
+// absorbProfile folds one shard's delivery profile into the probe
+// scratch (no-op without a probe).
+func (c *coordinator) absorbProfile(shard int, d *deliveredReply) {
+	if c.opts.Probe == nil {
+		return
+	}
+	lo := c.bounds[shard]
+	pi := 0
+	for j, size := range d.sizes {
+		u := lo + j
+		c.inboxSizes[u] = size
+		for x := 0; x < size; x++ {
+			slot := c.slots.Slot(u, d.ports[pi])
+			pi++
+			if c.edgeLoad[slot] == 0 {
+				c.touched = append(c.touched, slot)
+			}
+			c.edgeLoad[slot]++
+		}
+	}
+}
+
+// roundEnd synthesizes the round's aggregated RoundRecord from the
+// collected profiles, field for field like congest.probeRoundFlush, and
+// resets the touched scratch.
+func (c *coordinator) roundEnd(delivered, active int) {
+	p := c.opts.Probe
+	if p == nil {
+		return
+	}
+	c.rec = congest.RoundRecord{
+		Round:        c.rounds,
+		Delivered:    delivered,
+		Active:       active,
+		Halted:       c.halted,
+		MaxInboxNode: -1,
+		InboxSizes:   c.inboxSizes,
+		EdgeLoad:     c.edgeLoad,
+	}
+	for u, size := range c.inboxSizes {
+		if size > c.rec.MaxInbox {
+			c.rec.MaxInbox = size
+			c.rec.MaxInboxNode = u
+		}
+	}
+	for _, slot := range c.touched {
+		if c.edgeLoad[slot] > c.rec.MaxEdgeLoad {
+			c.rec.MaxEdgeLoad = c.edgeLoad[slot]
+		}
+	}
+	p.RoundEnd(&c.rec)
+	for _, slot := range c.touched {
+		c.edgeLoad[slot] = 0
+	}
+	c.touched = c.touched[:0]
+}
+
+// harvest ends the run: FINISH to every shard, collect FINAL replies,
+// merge the workload outputs in shard order.
+func (c *coordinator) harvest(runErr error) (Result, error) {
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	if err := c.broadcast(frameFinish, func(int) []byte { return nil }); err != nil {
+		return Result{}, err
+	}
+	deadline := time.Now().Add(c.tcp.timeout())
+	res := Result{Rounds: c.rounds}
+	var parts [][]byte
+	var final finalReply
+	for i := range c.conns {
+		body, err := c.expect(i, frameFinal, deadline)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := parseFinalReply(body, &final); err != nil {
+			return Result{}, fmt.Errorf("transport: shard %d: %w", i, err)
+		}
+		res.Messages += final.messages
+		parts = append(parts, append([]byte(nil), final.result...))
+	}
+	if c.inst.Finish != nil && c.inst.Merge != nil {
+		out, err := c.inst.Merge(c.inst.Graph, parts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Output = out
+	}
+	return res, nil
+}
+
+// reap closes out the shard runtimes: on the error path everything is
+// killed immediately; on success each runtime gets one timeout to exit
+// on its own (the closed connections tell it the run is over) before
+// being killed.
+func (c *coordinator) reap(killAll bool) {
+	for _, h := range c.handles {
+		if killAll {
+			h.Kill()
+		}
+	}
+	for _, h := range c.handles {
+		done := make(chan struct{})
+		go func(wait func() error) {
+			if wait != nil {
+				wait()
+			}
+			close(done)
+		}(h.Wait)
+		select {
+		case <-done:
+		case <-time.After(c.tcp.timeout()):
+			h.Kill()
+			// Bounded second wait: a handle whose Kill cannot unstick its
+			// Wait (a wedged test goroutine) must not hang the run.
+			select {
+			case <-done:
+			case <-time.After(c.tcp.timeout()):
+			}
+		}
+	}
+}
+
+// metricsStart registers the coordinator's instruments: the
+// deterministic congest counters the in-process engines also export,
+// plus the tcpnet traffic counters.
+func (c *coordinator) metricsStart() (delivered, rounds *metrics.Counter) {
+	reg := c.opts.Metrics
+	if reg == nil {
+		return nil, nil
+	}
+	return reg.Counter("congest_messages_delivered_total"), reg.Counter("congest_rounds_total")
+}
+
+func (c *coordinator) metricsEnd(reg *metrics.Registry, elapsed time.Duration) {
+	reg.Counter("congest_runs_total").Add(1)
+	reg.Counter("congest_run_wall_ns_total").Add(elapsed.Nanoseconds())
+	reg.Counter("tcpnet_relayed_messages_total").Add(c.relayed)
+	var frames, bytes int64
+	for _, fc := range c.conns {
+		if fc != nil {
+			frames += fc.frames
+			bytes += fc.bytes
+		}
+	}
+	reg.Counter("tcpnet_frames_total").Add(frames)
+	reg.Counter("tcpnet_bytes_total").Add(bytes)
+	reg.Gauge("tcpnet_shards").Set(float64(c.tcp.Shards))
+}

@@ -1,0 +1,151 @@
+package transport
+
+// Length-prefixed framing for the TCP backend. One frame is
+//
+//	[4-byte big-endian length][1-byte type][length-1 payload bytes]
+//
+// where length counts the type byte plus the payload, so a frame is
+// never empty and a reader can reject zero or absurd lengths before
+// allocating. The framing is deliberately minimal — all structure lives
+// in the typed payload encodings (proto.go) — and is fuzzed with a
+// committed corpus (frame_test.go): truncated prefixes, oversized
+// lengths and split reads must all surface as errors, never as panics
+// or hangs.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Frame types. The coordinator initiates every phase; shards only ever
+// respond, so each request type pairs with the response below it.
+const (
+	frameHello     byte = 1 + iota // shard → coord: version, shard index
+	frameSpec                      // coord → shard: JSON wireSpec
+	frameInit                      // coord → shard: run Init (round 0)
+	frameInitAck                   // shard → coord: round-0 events, halted, external sends
+	frameDeliver                   // coord → shard: relayed cross-shard messages
+	frameDelivered                 // shard → coord: delivered count, per-node inbox profile
+	frameStep                      // coord → shard: run one Step
+	frameStepped                   // shard → coord: active, events, halted, external sends
+	frameFinish                    // coord → shard: run over, harvest
+	frameFinal                     // shard → coord: message count, Finish blob
+)
+
+// wireVersion guards against coordinator/shard skew; bumped with any
+// incompatible protocol or codec change.
+const wireVersion = 1
+
+// maxFramePayload bounds a frame's payload. Generous — the largest
+// legitimate frame is a DELIVER batch, linear in a shard's boundary
+// cut — while still rejecting a corrupt or hostile length prefix long
+// before a multi-gigabyte allocation.
+const maxFramePayload = 16 << 20
+
+// errFrameTooLarge is surfaced for oversized length prefixes, distinct
+// from I/O errors so tests (and peers) can tell corruption from a
+// dropped connection.
+var errFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// appendFrame appends one encoded frame to buf.
+func appendFrame(buf []byte, typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > maxFramePayload {
+		return nil, fmt.Errorf("%w (%d bytes)", errFrameTooLarge, len(payload))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)+1))
+	buf = append(buf, typ)
+	return append(buf, payload...), nil
+}
+
+// readFrame reads one frame, reusing buf for the payload when it fits.
+// Truncated input surfaces as io.ErrUnexpectedEOF (io.EOF only at a
+// clean frame boundary); oversized or zero lengths as errFrameTooLarge
+// or a malformed-frame error.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length == 0 {
+		return 0, nil, errors.New("transport: malformed frame: zero length")
+	}
+	if length > maxFramePayload+1 {
+		return 0, nil, fmt.Errorf("%w (%d bytes)", errFrameTooLarge, length)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, eofIsUnexpected(err)
+	}
+	typ = hdr[4]
+	n := int(length) - 1
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, eofIsUnexpected(err)
+	}
+	return typ, payload, nil
+}
+
+// eofIsUnexpected maps a clean EOF mid-frame to io.ErrUnexpectedEOF:
+// only an EOF before any header byte means the peer closed cleanly.
+func eofIsUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// frameConn is one framed, buffered connection endpoint. Reads reuse a
+// single payload buffer (valid until the next read); writes accumulate
+// in the bufio writer until flush. It also tallies traffic for the
+// tcpnet_* metrics.
+type frameConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	rbuf []byte
+	wbuf []byte
+
+	frames int64
+	bytes  int64
+}
+
+func newFrameConn(c net.Conn) *frameConn {
+	return &frameConn{conn: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// read reads the next frame; the returned payload is only valid until
+// the next read call.
+func (c *frameConn) read() (byte, []byte, error) {
+	typ, payload, err := readFrame(c.r, c.rbuf)
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(payload) > cap(c.rbuf) {
+		c.rbuf = payload[:cap(payload)]
+	}
+	c.frames++
+	c.bytes += int64(len(payload)) + 5
+	return typ, payload, nil
+}
+
+// write queues one frame; flush sends the queue.
+func (c *frameConn) write(typ byte, payload []byte) error {
+	buf, err := appendFrame(c.wbuf[:0], typ, payload)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf[:0]
+	c.frames++
+	c.bytes += int64(len(buf))
+	_, err = c.w.Write(buf)
+	return err
+}
+
+func (c *frameConn) flush() error { return c.w.Flush() }

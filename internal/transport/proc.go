@@ -1,0 +1,60 @@
+package transport
+
+// Proc: the in-process Transport backend. It is a thin adapter — build
+// the instance, hand it to the unchanged congest engines, harvest — so
+// routing a binary through the Transport interface with Proc produces
+// bit-identical results (and trace bytes) to calling the engines
+// directly, at zero added steady-state allocation.
+
+import (
+	"almostmix/internal/congest"
+)
+
+// Proc runs workloads on the in-process CONGEST engines. Workers
+// selects the engine exactly like congest.Network.SetWorkers: 1 (and,
+// for convenience, 0) is the sequential reference engine, w > 1 the
+// sharded parallel engine, w < 0 one worker per CPU.
+type Proc struct {
+	Workers int
+}
+
+// Name implements Transport.
+func (Proc) Name() string { return "proc" }
+
+// Run implements Transport.
+func (p Proc) Run(spec Spec, opts Options) (Result, error) {
+	wl, err := Lookup(spec.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	inst, err := wl.Build(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	workers := p.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	net := congest.NewNetwork(inst.Graph, inst.Programs, inst.Source).
+		SetWorkers(workers).
+		SetProbe(opts.Probe).
+		SetMetrics(opts.Metrics)
+	var rounds int
+	if inst.Quiet {
+		rounds, err = net.RunUntilQuiet(inst.MaxRounds)
+	} else {
+		rounds, err = net.Run(inst.MaxRounds)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Rounds: rounds, Messages: net.Messages()}
+	if inst.Finish != nil && inst.Merge != nil {
+		out, err := inst.Merge(inst.Graph, [][]byte{inst.Finish(0, inst.Graph.N())})
+		if err != nil {
+			return Result{}, err
+		}
+		res.Output = out
+	}
+	return res, nil
+}

@@ -1,0 +1,288 @@
+package transport
+
+// Typed frame payload encodings for the TCP backend: uvarint-packed
+// batches of relayed messages, probe events and inbox profiles. All
+// encodings are canonical (one byte form per value, written in one
+// fixed order), which makes the coordinator's probe stream — and hence
+// exported traces — byte-identical to the in-process engines.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// wireSpec is the JSON body of the SPEC frame: the replayable workload
+// spec plus the shard layout the run uses.
+type wireSpec struct {
+	Version int  `json:"version"`
+	Shards  int  `json:"shards"`
+	Spec    Spec `json:"spec"`
+}
+
+// shardBounds is the contiguous node split shared by the coordinator
+// and every shard process: shard i owns [i·n/k, (i+1)·n/k) — the same
+// split the in-process parallel engine uses.
+func shardBounds(n, shards, i int) (lo, hi int) {
+	return i * n / shards, (i + 1) * n / shards
+}
+
+// cursor is a parsing cursor over one frame payload; the first error
+// sticks and every later read returns zero values, so parse functions
+// can chain reads and check once.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("transport: malformed %s", what)
+	}
+}
+
+func (c *cursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+// length reads a uvarint that sizes a subsequent read; it additionally
+// bounds it by the bytes actually remaining, so a hostile length cannot
+// drive a huge allocation.
+func (c *cursor) length(what string) int {
+	v := c.uvarint(what)
+	if c.err == nil && v > uint64(len(c.b)) {
+		c.fail(what + " length")
+		return 0
+	}
+	return int(v)
+}
+
+func (c *cursor) bytes(n int, what string) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.b) < n {
+		c.fail(what)
+		return nil
+	}
+	b := c.b[:n]
+	c.b = c.b[n:]
+	return b
+}
+
+func (c *cursor) byte(what string) byte {
+	b := c.bytes(1, what)
+	if c.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// done returns the sticky error, or complains about trailing garbage.
+func (c *cursor) done(what string) error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("transport: %d trailing bytes after %s", len(c.b), what)
+	}
+	return nil
+}
+
+// wireEvent is one probe event (phase mark or node halt) in canonical
+// emission order: per node in ID order, marks first, then the halt.
+type wireEvent struct {
+	halt  bool
+	node  int
+	round int
+	name  string // marks only
+}
+
+const (
+	eventMark byte = iota
+	eventHalt
+)
+
+func appendEvents(buf []byte, evs []wireEvent) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, e := range evs {
+		kind := eventMark
+		if e.halt {
+			kind = eventHalt
+		}
+		buf = append(buf, kind)
+		buf = binary.AppendUvarint(buf, uint64(e.node))
+		buf = binary.AppendUvarint(buf, uint64(e.round))
+		if !e.halt {
+			buf = binary.AppendUvarint(buf, uint64(len(e.name)))
+			buf = append(buf, e.name...)
+		}
+	}
+	return buf
+}
+
+func (c *cursor) events(dst []wireEvent) []wireEvent {
+	n := int(c.uvarint("event count"))
+	for i := 0; i < n && c.err == nil; i++ {
+		kind := c.byte("event kind")
+		e := wireEvent{
+			halt:  kind == eventHalt,
+			node:  int(c.uvarint("event node")),
+			round: int(c.uvarint("event round")),
+		}
+		if kind == eventMark {
+			e.name = string(c.bytes(c.length("event name"), "event name"))
+		} else if kind != eventHalt {
+			c.fail("event kind")
+		}
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// wireSend is one relayed cross-shard message: the receiving node, the
+// port AT THE RECEIVER, and the workload-encoded payload.
+type wireSend struct {
+	dst, port int
+	payload   []byte
+}
+
+func appendSends(buf []byte, sends []wireSend) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(sends)))
+	for _, s := range sends {
+		buf = binary.AppendUvarint(buf, uint64(s.dst))
+		buf = binary.AppendUvarint(buf, uint64(s.port))
+		buf = binary.AppendUvarint(buf, uint64(len(s.payload)))
+		buf = append(buf, s.payload...)
+	}
+	return buf
+}
+
+// sends parses a relayed-message batch. Payload slices alias the frame
+// buffer: valid only until the next frame read, decode before then.
+func (c *cursor) sends(dst []wireSend) []wireSend {
+	n := int(c.uvarint("send count"))
+	for i := 0; i < n && c.err == nil; i++ {
+		s := wireSend{
+			dst:  int(c.uvarint("send dst")),
+			port: int(c.uvarint("send port")),
+		}
+		s.payload = c.bytes(c.length("send payload"), "send payload")
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// stepReply is the body of INITACK and STEPPED frames: what one shard
+// reports after running Init or one Step.
+type stepReply struct {
+	active int // nodes that executed Step (0 for INITACK)
+	halted int // owned nodes halted, cumulative
+	events []wireEvent
+	sends  []wireSend
+}
+
+func appendStepReply(buf []byte, r *stepReply) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.active))
+	buf = binary.AppendUvarint(buf, uint64(r.halted))
+	buf = appendEvents(buf, r.events)
+	return appendSends(buf, r.sends)
+}
+
+func parseStepReply(b []byte, r *stepReply) error {
+	c := cursor{b: b}
+	r.active = int(c.uvarint("step active"))
+	r.halted = int(c.uvarint("step halted"))
+	r.events = c.events(r.events[:0])
+	r.sends = c.sends(r.sends[:0])
+	return c.done("step reply")
+}
+
+// deliveredReply is the body of a DELIVERED frame: the shard's total
+// plus, per owned node in ID order, the inbox size and the ports the
+// messages arrived on — exactly what the coordinator needs to rebuild
+// InboxSizes, EdgeLoad and the max-inbox fields of the RoundRecord.
+type deliveredReply struct {
+	delivered int
+	sizes     []int // one per owned node
+	ports     []int // concatenated arrival ports
+}
+
+func appendDeliveredReply(buf []byte, r *deliveredReply) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.delivered))
+	pi := 0
+	for _, size := range r.sizes {
+		buf = binary.AppendUvarint(buf, uint64(size))
+		for j := 0; j < size; j++ {
+			buf = binary.AppendUvarint(buf, uint64(r.ports[pi]))
+			pi++
+		}
+	}
+	return buf
+}
+
+func parseDeliveredReply(b []byte, owned int, r *deliveredReply) error {
+	c := cursor{b: b}
+	r.delivered = int(c.uvarint("delivered total"))
+	r.sizes = r.sizes[:0]
+	r.ports = r.ports[:0]
+	for u := 0; u < owned && c.err == nil; u++ {
+		size := int(c.uvarint("inbox size"))
+		r.sizes = append(r.sizes, size)
+		for j := 0; j < size && c.err == nil; j++ {
+			r.ports = append(r.ports, int(c.uvarint("inbox port")))
+		}
+	}
+	return c.done("delivered reply")
+}
+
+// finalReply is the body of a FINAL frame: the shard's message count
+// and its Finish blob.
+type finalReply struct {
+	messages int
+	result   []byte
+}
+
+func appendFinalReply(buf []byte, r *finalReply) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.messages))
+	buf = binary.AppendUvarint(buf, uint64(len(r.result)))
+	return append(buf, r.result...)
+}
+
+func parseFinalReply(b []byte, r *finalReply) error {
+	c := cursor{b: b}
+	r.messages = int(c.uvarint("final messages"))
+	r.result = append(r.result[:0], c.bytes(c.length("final result"), "final result")...)
+	return c.done("final reply")
+}
+
+// parseHello parses a HELLO body: version byte + shard index.
+func parseHello(b []byte) (shard int, err error) {
+	c := cursor{b: b}
+	if v := c.byte("hello version"); c.err == nil && v != wireVersion {
+		return 0, fmt.Errorf("transport: protocol version mismatch: peer %d, this build %d", v, wireVersion)
+	}
+	shard = int(c.uvarint("hello shard"))
+	if err := c.done("hello"); err != nil {
+		return 0, err
+	}
+	return shard, nil
+}
+
+func appendHello(buf []byte, shard int) []byte {
+	buf = append(buf, wireVersion)
+	return binary.AppendUvarint(buf, uint64(shard))
+}
+
+// errShardStopped is returned by a shard runtime asked to exit by a
+// test hook; exported via errors.Is only within the package tests.
+var errShardStopped = errors.New("transport: shard stopped by test hook")

@@ -1,0 +1,259 @@
+package transport
+
+// The shard side of the TCP backend: dial the coordinator with backoff,
+// replay the spec into a congest.Shard over nodes [i·n/k, (i+1)·n/k),
+// then answer barrier frames until the coordinator says FINISH (or
+// closes the connection). cmd/tcpnode is a thin wrapper around
+// DialShard + ServeShard; tests drive ServeShard directly on in-process
+// connections to put the whole protocol under the race detector.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"almostmix/internal/congest"
+)
+
+// ShardConfig tunes a shard runtime beyond what the wire spec carries.
+type ShardConfig struct {
+	// FailAtRound > 0 makes the runtime drop its connection without
+	// replying when it receives the STEP request of that round
+	// (1-based) — the fault injection behind the coordinator's
+	// shard-death-mid-round tests. 0 disables.
+	FailAtRound int
+	// StallAtRound > 0 makes the runtime stop replying (without closing
+	// the connection) at that round's STEP, so the coordinator's read
+	// deadline — not a connection error — has to surface the failure.
+	StallAtRound int
+}
+
+// DialShard connects to the coordinator, retrying with doubling backoff
+// (10ms up to 500ms per wait) until the budget runs out — the
+// coordinator may still be between Listen and Accept, or the OS still
+// scheduling sibling processes, when a shard starts dialing.
+func DialShard(addr string, budget time.Duration) (net.Conn, error) {
+	if budget <= 0 {
+		budget = 10 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	backoff := 10 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("transport: dialing coordinator %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// ServeShard runs one shard endpoint over an established connection:
+// handshake, spec replay, then the barrier loop. It returns nil on a
+// graceful end (FINISH answered, or the coordinator closed the
+// connection at a frame boundary before FINISH — how error-path
+// teardown looks from the shard side).
+func ServeShard(conn net.Conn, shard int, cfg ShardConfig) error {
+	defer conn.Close()
+	fc := newFrameConn(conn)
+	if err := fc.write(frameHello, appendHello(nil, shard)); err != nil {
+		return err
+	}
+	if err := fc.flush(); err != nil {
+		return err
+	}
+	typ, body, err := fc.read()
+	if err != nil {
+		return fmt.Errorf("transport: shard %d: reading spec: %w", shard, err)
+	}
+	if typ != frameSpec {
+		return fmt.Errorf("transport: shard %d: frame type %d, want SPEC", shard, typ)
+	}
+	var ws wireSpec
+	if err := json.Unmarshal(body, &ws); err != nil {
+		return fmt.Errorf("transport: shard %d: decoding spec: %w", shard, err)
+	}
+	if ws.Version != wireVersion {
+		return fmt.Errorf("transport: shard %d: protocol version mismatch: coordinator %d, this build %d", shard, ws.Version, wireVersion)
+	}
+	if shard < 0 || ws.Shards < 1 || shard >= ws.Shards {
+		return fmt.Errorf("transport: shard index %d outside layout of %d shards", shard, ws.Shards)
+	}
+	wl, err := Lookup(ws.Spec.Workload)
+	if err != nil {
+		return err
+	}
+	if wl.Encode == nil || wl.Decode == nil {
+		return fmt.Errorf("transport: workload %q has no payload codec, cannot run over tcp", ws.Spec.Workload)
+	}
+	inst, err := wl.Build(ws.Spec)
+	if err != nil {
+		return err
+	}
+	lo, hi := shardBounds(inst.Graph.N(), ws.Shards, shard)
+	s, err := congest.NewShard(congest.NewNetwork(inst.Graph, inst.Programs, inst.Source), lo, hi)
+	if err != nil {
+		return err
+	}
+	r := &shardRuntime{fc: fc, shard: shard, s: s, wl: wl, inst: inst, cfg: cfg}
+	return r.loop()
+}
+
+// shardRuntime is the per-run state of one ServeShard call. Reply
+// scratch buffers are reused across rounds so a steady round allocates
+// only what payload encoding forces.
+type shardRuntime struct {
+	fc    *frameConn
+	shard int
+	s     *congest.Shard
+	wl    Workload
+	inst  *Instance
+	cfg   ShardConfig
+
+	steps   int
+	reply   stepReply
+	prof    deliveredReply
+	inSends []wireSend
+	sendBuf []byte
+	body    []byte
+}
+
+func (r *shardRuntime) loop() error {
+	for {
+		typ, body, err := r.fc.read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// Coordinator closed at a frame boundary: teardown.
+				return nil
+			}
+			return fmt.Errorf("transport: shard %d: read: %w", r.shard, err)
+		}
+		switch typ {
+		case frameInit:
+			r.s.Init()
+			err = r.respondStep(frameInitAck, 0)
+		case frameDeliver:
+			err = r.deliver(body)
+		case frameStep:
+			r.steps++
+			if r.cfg.FailAtRound > 0 && r.steps >= r.cfg.FailAtRound {
+				return errShardStopped
+			}
+			if r.cfg.StallAtRound > 0 && r.steps >= r.cfg.StallAtRound {
+				select {} // hold the connection open, never reply
+			}
+			err = r.respondStep(frameStepped, r.s.Step())
+		case frameFinish:
+			if err := r.finish(); err != nil {
+				return err
+			}
+			return nil
+		default:
+			return fmt.Errorf("transport: shard %d: unexpected frame type %d", r.shard, typ)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// respondStep answers INIT or STEP: drain owned events in canonical
+// order, enumerate the owned sends that leave the shard, report the
+// cumulative halt count.
+func (r *shardRuntime) respondStep(typ byte, active int) error {
+	r.reply.active = active
+	r.reply.halted = r.s.HaltedCount()
+	r.reply.events = r.reply.events[:0]
+	r.s.DrainEvents(
+		func(node, round int, name string) {
+			r.reply.events = append(r.reply.events, wireEvent{node: node, round: round, name: name})
+		},
+		func(node, round int) {
+			r.reply.events = append(r.reply.events, wireEvent{halt: true, node: node, round: round})
+		},
+	)
+	r.reply.sends = r.reply.sends[:0]
+	r.sendBuf = r.sendBuf[:0]
+	var encErr error
+	r.s.ExternalSends(func(dst, dstPort int, payload congest.Message) {
+		if encErr != nil {
+			return
+		}
+		off := len(r.sendBuf)
+		buf, err := r.wl.Encode(r.sendBuf, payload)
+		if err != nil {
+			encErr = err
+			return
+		}
+		r.sendBuf = buf
+		// If append regrew sendBuf, earlier payload slices still point at
+		// the old backing array — stale storage, correct bytes.
+		r.reply.sends = append(r.reply.sends, wireSend{dst: dst, port: dstPort, payload: r.sendBuf[off:]})
+	})
+	if encErr != nil {
+		return fmt.Errorf("transport: shard %d: encoding send: %w", r.shard, encErr)
+	}
+	r.body = appendStepReply(r.body[:0], &r.reply)
+	return r.send(typ)
+}
+
+// deliver answers DELIVER: inject the relayed batch, run the canonical
+// delivery scan, report the per-node inbox profile.
+func (r *shardRuntime) deliver(body []byte) error {
+	c := cursor{b: body}
+	r.inSends = c.sends(r.inSends[:0])
+	if err := c.done("deliver batch"); err != nil {
+		return fmt.Errorf("transport: shard %d: %w", r.shard, err)
+	}
+	for _, s := range r.inSends {
+		m, err := r.wl.Decode(s.payload)
+		if err != nil {
+			return fmt.Errorf("transport: shard %d: decoding relayed payload: %w", r.shard, err)
+		}
+		if err := r.s.Inject(s.dst, s.port, m); err != nil {
+			return err
+		}
+	}
+	r.prof.delivered = r.s.Deliver()
+	r.prof.sizes = r.prof.sizes[:0]
+	r.prof.ports = r.prof.ports[:0]
+	lo, hi := r.s.Nodes()
+	for u := lo; u < hi; u++ {
+		inbox := r.s.Inbox(u)
+		r.prof.sizes = append(r.prof.sizes, len(inbox))
+		for _, in := range inbox {
+			r.prof.ports = append(r.prof.ports, in.Port)
+		}
+	}
+	r.body = appendDeliveredReply(r.body[:0], &r.prof)
+	return r.send(frameDelivered)
+}
+
+// finish answers FINISH with the owned message count and Finish blob.
+func (r *shardRuntime) finish() error {
+	lo, hi := r.s.Nodes()
+	f := finalReply{messages: r.s.Messages()}
+	if r.inst.Finish != nil {
+		f.result = r.inst.Finish(lo, hi)
+	}
+	r.body = appendFinalReply(r.body[:0], &f)
+	return r.send(frameFinal)
+}
+
+func (r *shardRuntime) send(typ byte) error {
+	if err := r.fc.write(typ, r.body); err != nil {
+		return fmt.Errorf("transport: shard %d: write: %w", r.shard, err)
+	}
+	if err := r.fc.flush(); err != nil {
+		return fmt.Errorf("transport: shard %d: flush: %w", r.shard, err)
+	}
+	return nil
+}

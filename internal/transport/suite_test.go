@@ -1,0 +1,250 @@
+package transport_test
+
+// The differential suite: every workload × shard count × seed must
+// produce byte-identical TraceSink output — and identical
+// rounds/messages/merged outputs — on the TCP backend and the
+// in-process engines. Shards run as goroutines here so the whole wire
+// protocol sits under the race detector; real-process coverage is in
+// process_test.go. Failure-injection tests (shard death mid-round,
+// shard stall) assert the coordinator degrades to a clean
+// shard-attributed error within its timeout, never a hang.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/transport"
+	"almostmix/internal/transport/workloads"
+)
+
+// suiteSpecs is one spec per workload, sized for seconds-long runs.
+func suiteSpecs(seed uint64) []transport.Spec {
+	return []transport.Spec{
+		{Workload: "ticker", Graph: "ring", N: 12, Steps: 5, SrcSeed: seed + 90},
+		{Workload: "bfs", Graph: "rr", N: 32, D: 4, Root: 3, Seed: seed, SrcSeed: seed + 50},
+		{Workload: "broadcast", Graph: "ringlattice", N: 24, D: 2, Root: 5, Value: 42, SrcSeed: seed + 60},
+		{Workload: "ghs", Graph: "rr", N: 24, D: 4, Seed: seed, SrcSeed: seed + 70, WeightSeed: seed + 7},
+		{Workload: "walks", Graph: "rr", N: 32, D: 4, K: 1, Steps: 8, Seed: seed, SrcSeed: seed + 80},
+	}
+}
+
+// goroutineSpawner runs each shard as an in-process goroutine speaking
+// the real TCP loopback protocol.
+func goroutineSpawner(cfgFor func(shard int) transport.ShardConfig) transport.SpawnFunc {
+	return func(shard int, addr string) (transport.ShardHandle, error) {
+		done := make(chan error, 1)
+		go func() {
+			conn, err := transport.DialShard(addr, 5*time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			var cfg transport.ShardConfig
+			if cfgFor != nil {
+				cfg = cfgFor(shard)
+			}
+			done <- transport.ServeShard(conn, shard, cfg)
+		}()
+		return transport.ShardHandle{
+			Wait: func() error { return <-done },
+			Kill: func() {},
+		}, nil
+	}
+}
+
+// traceRun executes spec on tr with a labeled TraceSink and returns the
+// sink's JSON bytes alongside the result.
+func traceRun(t *testing.T, tr transport.Transport, spec transport.Spec, label string) ([]byte, transport.Result) {
+	t.Helper()
+	sink := congest.NewTraceSink()
+	res, err := tr.Run(spec, transport.Options{Probe: sink.Label(label)})
+	if err != nil {
+		t.Fatalf("%s: %s run: %v", spec.Workload, tr.Name(), err)
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteJSON(&buf); err != nil {
+		t.Fatalf("%s: encoding trace: %v", spec.Workload, err)
+	}
+	return buf.Bytes(), res
+}
+
+func sameResult(t *testing.T, what string, want, got transport.Result) {
+	t.Helper()
+	if want.Rounds != got.Rounds || want.Messages != got.Messages || !reflect.DeepEqual(want.Output, got.Output) {
+		t.Errorf("%s: result diverged: sequential %+v, got %+v", what, want, got)
+	}
+}
+
+func TestDifferentialSuite(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, spec := range suiteSpecs(seed) {
+			t.Run(fmt.Sprintf("%s/seed%d", spec.Workload, seed), func(t *testing.T) {
+				t.Parallel()
+				want, wantRes := traceRun(t, transport.Proc{Workers: 1}, spec, "diff")
+				for _, shards := range []int{1, 2, 4} {
+					tcp := transport.TCP{Shards: shards, Timeout: 30 * time.Second, Spawn: goroutineSpawner(nil)}
+					got, gotRes := traceRun(t, tcp, spec, "diff")
+					if !bytes.Equal(want, got) {
+						t.Errorf("shards=%d: trace bytes diverge from the sequential engine (%d vs %d bytes)",
+							shards, len(want), len(got))
+					}
+					sameResult(t, fmt.Sprintf("shards=%d", shards), wantRes, gotRes)
+				}
+				_, parRes := traceRun(t, transport.Proc{Workers: 4}, spec, "diff")
+				sameResult(t, "proc workers=4", wantRes, parRes)
+			})
+		}
+	}
+}
+
+// TestProcMatchesDirectEngine pins the cmd-level refactor: routing the
+// walks workload through the Transport interface must reproduce the
+// direct RunNetworkObserved call bit for bit, trace included.
+func TestProcMatchesDirectEngine(t *testing.T) {
+	spec := transport.Spec{Workload: "walks", Graph: "rr", N: 32, D: 4, K: 2, Steps: 8, Seed: 7, SrcSeed: 107}
+	got, res := traceRun(t, transport.Proc{Workers: 1}, spec, "direct")
+
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := congest.NewTraceSink()
+	direct, err := randomwalk.RunNetworkObserved(g, randomwalk.UniformCountTimesDegree(g, spec.K),
+		spec.Steps, rngutil.NewSource(spec.SrcSeed), 1, sink.Label("direct"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf.Bytes()) {
+		t.Error("transport proc trace diverges from the direct engine call")
+	}
+	arrived := 0
+	for _, c := range direct.ArrivedAt {
+		arrived += c
+	}
+	if res.Rounds != direct.Rounds || res.Messages != direct.Messages ||
+		res.Output.(workloads.WalksOutput).Arrived != arrived {
+		t.Errorf("transport proc result %+v diverges from direct engine (rounds=%d messages=%d arrived=%d)",
+			res, direct.Rounds, direct.Messages, arrived)
+	}
+}
+
+func TestShardDeathMidRound(t *testing.T) {
+	spec := suiteSpecs(1)[4] // walks: plenty of rounds to die in
+	tcp := transport.TCP{
+		Shards:  2,
+		Timeout: 5 * time.Second,
+		Spawn: goroutineSpawner(func(shard int) transport.ShardConfig {
+			if shard == 1 {
+				return transport.ShardConfig{FailAtRound: 3}
+			}
+			return transport.ShardConfig{}
+		}),
+	}
+	start := time.Now()
+	_, err := tcp.Run(spec, transport.Options{})
+	if err == nil {
+		t.Fatal("shard death mid-round: run reported success")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("error does not attribute the dead shard: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("death took %v to surface, want well under the barrier timeout budget", elapsed)
+	}
+}
+
+func TestShardStallHitsDeadline(t *testing.T) {
+	spec := suiteSpecs(1)[4]
+	tcp := transport.TCP{
+		Shards:  2,
+		Timeout: 1 * time.Second,
+		Spawn: goroutineSpawner(func(shard int) transport.ShardConfig {
+			if shard == 0 {
+				return transport.ShardConfig{StallAtRound: 2}
+			}
+			return transport.ShardConfig{}
+		}),
+	}
+	start := time.Now()
+	_, err := tcp.Run(spec, transport.Options{})
+	if err == nil {
+		t.Fatal("stalled shard: run reported success")
+	}
+	var nerr net.Error
+	if !strings.Contains(err.Error(), "shard 0") {
+		t.Errorf("error does not attribute the stalled shard: %v", err)
+	}
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("stall surfaced as %v, want a deadline (timeout) error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("stall took %v to surface, want a few timeout periods at most", elapsed)
+	}
+}
+
+func TestDialShardRetriesUntilListen(t *testing.T) {
+	// Reserve an address, close it, and only start the real listener
+	// after the first dial attempts have failed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ready := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			ready <- nil
+			return
+		}
+		ready <- ln
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := transport.DialShard(addr, 10*time.Second)
+	if err != nil {
+		t.Fatalf("dial with retry: %v", err)
+	}
+	conn.Close()
+	if ln := <-ready; ln != nil {
+		ln.Close()
+	}
+
+	if _, err := transport.DialShard(addr, 300*time.Millisecond); err == nil {
+		t.Error("dial against a dead address: no error after budget")
+	}
+}
+
+func TestTCPValidatesShardCount(t *testing.T) {
+	spec := suiteSpecs(1)[0] // ticker on ring n=12
+	for _, shards := range []int{0, -1, 13} {
+		tcp := transport.TCP{Shards: shards, Spawn: goroutineSpawner(nil)}
+		if _, err := tcp.Run(spec, transport.Options{}); err == nil {
+			t.Errorf("shards=%d accepted for n=12", shards)
+		}
+	}
+}
+
+func TestLookupUnknownWorkload(t *testing.T) {
+	_, err := transport.Proc{}.Run(transport.Spec{Workload: "nope", Graph: "ring", N: 8}, transport.Options{})
+	if err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown workload: err = %v, want the known-names list", err)
+	}
+}

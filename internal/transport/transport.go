@@ -1,0 +1,163 @@
+// Package transport factors the simulator's execution contract into a
+// Transport interface with interchangeable backends: Proc runs a
+// workload on the in-process CONGEST engines (internal/congest,
+// unchanged and still zero-alloc in steady rounds), TCP runs the same
+// workload as real OS processes — one shard of nodes per process —
+// exchanging length-prefixed framed messages over TCP with a
+// coordinator driving the round barriers over the wire.
+//
+// The portability hinge is the replayable Spec: a workload is described
+// by pure seeds and sizes, never by in-memory object graphs, so every
+// participating process can rebuild the identical graph, programs and
+// RNG streams from a few dozen JSON bytes. Delivery semantics are NOT
+// reimplemented per backend — both funnel into congest's canonical
+// receiver-driven, port-ordered deliverTo (the TCP backend through
+// congest.Shard), which is why Probe/TraceSink output is byte-identical
+// across backends (asserted by the differential suite, `make
+// tcp-suite`).
+//
+// Invariants every backend must satisfy are documented in DESIGN.md
+// ("Transport contract").
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
+	"almostmix/internal/rngutil"
+)
+
+// Spec is the replayable description of one workload run: everything a
+// process needs to rebuild the graph, the per-node programs and the
+// simulator's random source, as plain seeds and sizes. Field meaning is
+// fixed by the workload (K is the walks-per-degree multiplier for
+// "walks", unused elsewhere; D is the path length for "lollipop"
+// graphs, the lattice halfwidth for "ringlattice", the degree for
+// "rr").
+type Spec struct {
+	Workload   string `json:"workload"`
+	Graph      string `json:"graph"`
+	N          int    `json:"n"`
+	D          int    `json:"d,omitempty"`
+	K          int    `json:"k,omitempty"`
+	Steps      int    `json:"steps,omitempty"`
+	Root       int    `json:"root,omitempty"`
+	Value      int    `json:"value,omitempty"`
+	Seed       uint64 `json:"seed"`
+	SrcSeed    uint64 `json:"src_seed"`
+	WeightSeed uint64 `json:"weight_seed,omitempty"`
+}
+
+// BuildGraph rebuilds the spec's graph: deterministic in the spec alone,
+// so every process of a TCP run holds an identical topology. A nonzero
+// WeightSeed additionally assigns the distinct random edge weights the
+// MST workloads need.
+func BuildGraph(spec Spec) (*graph.Graph, error) {
+	var g *graph.Graph
+	switch spec.Graph {
+	case "rr":
+		g = graph.RandomRegular(spec.N, spec.D, rngutil.NewRand(spec.Seed))
+	case "ring":
+		g = graph.Ring(spec.N)
+	case "ringlattice":
+		g = graph.RingLattice(spec.N, spec.D)
+	case "star":
+		g = graph.Star(spec.N)
+	case "lollipop":
+		g = graph.Lollipop(spec.N, spec.D)
+	default:
+		return nil, fmt.Errorf("transport: unknown graph kind %q", spec.Graph)
+	}
+	if spec.WeightSeed != 0 {
+		g.AssignDistinctRandomWeights(rngutil.NewRand(spec.WeightSeed))
+	}
+	return g, nil
+}
+
+// Instance is a Spec materialized on one process: the graph, the
+// per-node programs, and how to run and harvest them.
+type Instance struct {
+	Graph    *graph.Graph
+	Programs []congest.Program
+	Source   *rngutil.Source
+	// MaxRounds is the round budget; Quiet selects RunUntilQuiet-style
+	// termination (stop after the first round ≥ 1 that delivers nothing).
+	MaxRounds int
+	Quiet     bool
+	// Finish serializes the run's outcome held by nodes [lo, hi) — nil
+	// when the workload has no output beyond rounds/messages. Merge
+	// combines the per-shard Finish blobs, concatenated in shard (= node)
+	// order, into the workload's output value. Proc uses a single
+	// [0, n) blob so both backends share one harvest path.
+	Finish func(lo, hi int) []byte
+	Merge  func(g *graph.Graph, parts [][]byte) (any, error)
+}
+
+// Workload couples a Spec builder with the byte codec for the payload
+// types its programs exchange. Codecs are pure and canonical (see
+// internal/congest/wire.go), which the TCP backend relies on for
+// deterministic cross-process replay.
+type Workload struct {
+	Name   string
+	Build  func(spec Spec) (*Instance, error)
+	Encode func(buf []byte, m congest.Message) ([]byte, error)
+	Decode func(b []byte) (congest.Message, error)
+}
+
+var registry = map[string]Workload{}
+
+// Register adds a workload to the process-global registry (called from
+// package init of internal/transport/workloads). Duplicate names panic:
+// two workloads answering to one spec cannot both be what a remote
+// shard replays.
+func Register(w Workload) {
+	if w.Name == "" || w.Build == nil {
+		panic("transport: Register needs a name and a builder")
+	}
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("transport: workload %q registered twice", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Lookup resolves a workload by name, listing the known names on a miss
+// so a typo in a spec (or a version-skewed peer) fails comprehensibly.
+func Lookup(name string) (Workload, error) {
+	if w, ok := registry[name]; ok {
+		return w, nil
+	}
+	known := make([]string, 0, len(registry))
+	for n := range registry {
+		known = append(known, n)
+	}
+	sort.Strings(known)
+	return Workload{}, fmt.Errorf("transport: unknown workload %q (known: %v)", name, known)
+}
+
+// Options carries the observability hooks a backend threads through its
+// run. Both are optional; the probe sees the byte-identical event
+// stream on every backend.
+type Options struct {
+	Probe   congest.Probe
+	Metrics *metrics.Registry
+}
+
+// Result is the backend-independent outcome of a run. Output is the
+// workload's Merge value (nil when the workload defines none).
+type Result struct {
+	Rounds   int
+	Messages int
+	Output   any
+}
+
+// Transport executes workload specs. Implementations must satisfy the
+// contract in DESIGN.md: canonical port-ordered delivery, engine round
+// barriers, halt semantics, and a probe event stream byte-identical to
+// the sequential reference engine.
+type Transport interface {
+	Name() string
+	Run(spec Spec, opts Options) (Result, error)
+}

@@ -1,0 +1,307 @@
+// Package workloads registers the canonical transport workloads —
+// ticker, bfs, broadcast, ghs, walks — with internal/transport. Each is
+// a pure function of its Spec: the graph, programs, RNG streams and
+// payload codecs are rebuilt identically on every process of a TCP run,
+// and the in-process backends build through the same path, which is
+// what the differential suite's byte-equality assertions rest on.
+//
+// Import for side effects from binaries and tests that resolve
+// workloads by name.
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/graph"
+	"almostmix/internal/mstbase"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/transport"
+)
+
+// BFSOutput is the merged outcome of the "bfs" workload.
+type BFSOutput struct {
+	// Depth is the BFS tree depth; Reached the number of nodes the flood
+	// reached (n on a connected graph).
+	Depth   int
+	Reached int
+}
+
+// BroadcastOutput is the merged outcome of the "broadcast" workload.
+type BroadcastOutput struct {
+	// Got is the number of nodes holding the flooded value at the end.
+	Got int
+}
+
+// MSTOutput is the merged outcome of the "ghs" workload. Iterations is
+// derived by callers from Result.Rounds and the phase window 3n+6.
+type MSTOutput struct {
+	Edges  []int
+	Weight float64
+}
+
+// WalksOutput is the merged outcome of the "walks" workload.
+type WalksOutput struct {
+	// Arrived is the total number of walk tokens that completed.
+	Arrived int
+}
+
+func init() {
+	transport.Register(transport.Workload{
+		Name:   "ticker",
+		Build:  buildTicker,
+		Encode: congest.EncodeTickPayload,
+		Decode: congest.DecodeTickPayload,
+	})
+	transport.Register(transport.Workload{
+		Name:   "bfs",
+		Build:  buildBFS,
+		Encode: congest.EncodeBFSPayload,
+		Decode: congest.DecodeBFSPayload,
+	})
+	transport.Register(transport.Workload{
+		Name:   "broadcast",
+		Build:  buildBroadcast,
+		Encode: congest.EncodeFloodPayload,
+		Decode: congest.DecodeFloodPayload,
+	})
+	transport.Register(transport.Workload{
+		Name:   "ghs",
+		Build:  buildGHS,
+		Encode: mstbase.EncodeGHSPayload,
+		Decode: mstbase.DecodeGHSPayload,
+	})
+	transport.Register(transport.Workload{
+		Name:   "walks",
+		Build:  buildWalks,
+		Encode: randomwalk.EncodeWalkPayload,
+		Decode: randomwalk.DecodeWalkPayload,
+	})
+}
+
+// buildTicker: every node broadcasts Tick for Steps rounds, then halts.
+// No output beyond rounds/messages — the minimal workload the framing
+// and lifecycle tests lean on.
+func buildTicker(spec transport.Spec) (*transport.Instance, error) {
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Steps < 1 {
+		return nil, fmt.Errorf("workloads: ticker needs steps ≥ 1, got %d", spec.Steps)
+	}
+	programs := make([]congest.Program, g.N())
+	for v := range programs {
+		programs[v] = congest.NewTicker(spec.Steps)
+	}
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    rngutil.NewSource(spec.SrcSeed),
+		MaxRounds: spec.Steps + 4,
+	}, nil
+}
+
+func buildBFS(spec transport.Spec) (*transport.Instance, error) {
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Root < 0 || spec.Root >= g.N() {
+		return nil, fmt.Errorf("workloads: bfs root %d outside nodes [0, %d)", spec.Root, g.N())
+	}
+	programs, res := congest.BFSPrograms(g, spec.Root)
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    rngutil.NewSource(spec.SrcSeed),
+		MaxRounds: 2*g.N() + 4,
+		Quiet:     true,
+		// Dist[v] is only valid on the process owning v; ship dist+1 so
+		// the unreached sentinel -1 packs as a uvarint.
+		Finish: func(lo, hi int) []byte {
+			var buf []byte
+			for v := lo; v < hi; v++ {
+				buf = binary.AppendUvarint(buf, uint64(res.Dist[v]+1))
+			}
+			return buf
+		},
+		Merge: func(g *graph.Graph, parts [][]byte) (any, error) {
+			vals, err := uvarints(parts, g.N(), "bfs dist")
+			if err != nil {
+				return nil, err
+			}
+			out := BFSOutput{}
+			for _, d := range vals {
+				if d == 0 {
+					continue
+				}
+				out.Reached++
+				out.Depth = max(out.Depth, int(d)-1)
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+func buildBroadcast(spec transport.Spec) (*transport.Instance, error) {
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Root < 0 || spec.Root >= g.N() {
+		return nil, fmt.Errorf("workloads: broadcast root %d outside nodes [0, %d)", spec.Root, g.N())
+	}
+	programs, out := congest.FloodPrograms(g, spec.Root, spec.Value)
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    rngutil.NewSource(spec.SrcSeed),
+		MaxRounds: 2*g.N() + 4,
+		Quiet:     true,
+		Finish: func(lo, hi int) []byte {
+			got := 0
+			for v := lo; v < hi; v++ {
+				if val, ok := out[v].(int); ok && val == spec.Value {
+					got++
+				}
+			}
+			return binary.AppendUvarint(nil, uint64(got))
+		},
+		Merge: func(g *graph.Graph, parts [][]byte) (any, error) {
+			vals, err := uvarints(parts, len(parts), "broadcast count")
+			if err != nil {
+				return nil, err
+			}
+			res := BroadcastOutput{}
+			for _, v := range vals {
+				res.Got += int(v)
+			}
+			return res, nil
+		},
+	}, nil
+}
+
+func buildGHS(spec transport.Spec) (*transport.Instance, error) {
+	if spec.WeightSeed == 0 {
+		return nil, fmt.Errorf("workloads: ghs needs a nonzero weight_seed (distinct edge weights)")
+	}
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("workloads: ghs needs a connected graph")
+	}
+	programs, maxRounds := mstbase.GHSPrograms(g)
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    rngutil.NewSource(spec.SrcSeed),
+		MaxRounds: maxRounds,
+		Finish: func(lo, hi int) []byte {
+			edges := mstbase.GHSChosenEdges(programs, lo, hi)
+			buf := binary.AppendUvarint(nil, uint64(len(edges)))
+			for _, e := range edges {
+				buf = binary.AppendUvarint(buf, uint64(e))
+			}
+			return buf
+		},
+		// First-seen dedup over the shard-ordered streams reproduces
+		// GHSNetworkObserved's edge list exactly.
+		Merge: func(g *graph.Graph, parts [][]byte) (any, error) {
+			out := MSTOutput{}
+			seen := make(map[int]bool)
+			for _, part := range parts {
+				count, rest, err := uvarint(part, "ghs edge count")
+				if err != nil {
+					return nil, err
+				}
+				for j := uint64(0); j < count; j++ {
+					var e uint64
+					if e, rest, err = uvarint(rest, "ghs edge id"); err != nil {
+						return nil, err
+					}
+					if id := int(e); !seen[id] {
+						seen[id] = true
+						out.Edges = append(out.Edges, id)
+					}
+				}
+				if len(rest) != 0 {
+					return nil, fmt.Errorf("workloads: %d trailing bytes in ghs part", len(rest))
+				}
+			}
+			out.Weight = g.TotalWeight(out.Edges)
+			return out, nil
+		},
+	}, nil
+}
+
+func buildWalks(spec transport.Spec) (*transport.Instance, error) {
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.K < 1 {
+		return nil, fmt.Errorf("workloads: walks needs k ≥ 1 walks per degree, got %d", spec.K)
+	}
+	if spec.Steps < 0 {
+		return nil, fmt.Errorf("workloads: walks needs steps ≥ 0, got %d", spec.Steps)
+	}
+	programs, arrived, maxRounds := randomwalk.WalkPrograms(g, randomwalk.UniformCountTimesDegree(g, spec.K), spec.Steps)
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    rngutil.NewSource(spec.SrcSeed),
+		MaxRounds: maxRounds,
+		Quiet:     true,
+		Finish: func(lo, hi int) []byte {
+			total := 0
+			for v := lo; v < hi; v++ {
+				total += arrived[v]
+			}
+			return binary.AppendUvarint(nil, uint64(total))
+		},
+		Merge: func(g *graph.Graph, parts [][]byte) (any, error) {
+			vals, err := uvarints(parts, len(parts), "walks arrived")
+			if err != nil {
+				return nil, err
+			}
+			res := WalksOutput{}
+			for _, v := range vals {
+				res.Arrived += int(v)
+			}
+			return res, nil
+		},
+	}, nil
+}
+
+// uvarint reads one uvarint off b, returning the remainder.
+func uvarint(b []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("workloads: malformed %s", what)
+	}
+	return v, b[n:], nil
+}
+
+// uvarints parses the concatenation of parts as exactly want uvarints.
+func uvarints(parts [][]byte, want int, what string) ([]uint64, error) {
+	vals := make([]uint64, 0, want)
+	for _, part := range parts {
+		for len(part) > 0 {
+			v, rest, err := uvarint(part, what)
+			if err != nil {
+				return nil, err
+			}
+			part = rest
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) != want {
+		return nil, fmt.Errorf("workloads: %d %s values, want %d", len(vals), what, want)
+	}
+	return vals, nil
+}

@@ -168,4 +168,52 @@ expect_reject "benchsuite -reps 0" "$bin/benchsuite" -reps 0
 expect_reject "mixing unwritable -metrics" "$bin/mixing" -metrics /no/such/dir/m.json
 expect_reject "routing unwritable -trace" "$bin/routing" -quick -trace /no/such/dir/t.json
 expect_reject "mincut unwritable -pprofout" "$bin/mincut" -pprof cpu -pprofout /no/such/dir/p.pprof
+expect_reject "walks -transport bogus" "$bin/walks" -transport bogus
+expect_reject "walks -shards 0" "$bin/walks" -shards 0
+expect_reject "walks bad -listen" "$bin/walks" -transport tcp -listen not-a-hostport
+expect_reject "walks tcp with faults" "$bin/walks" -transport tcp -faults 'drop=0.1'
+expect_reject "mst -transport bogus" "$bin/mst" -transport bogus
+expect_reject "mst tcp with faults" "$bin/mst" -quick -transport tcp -faults 'drop=0.1'
 echo "smoke: flag validation ok"
+
+# Export I/O failures must reach the exit code as 1 (a run that worked
+# but could not deliver its artifacts), distinct from the flag-error 2.
+# /dev/full passes the up-front Writable probe (open succeeds) and then
+# fails every write with ENOSPC — exactly the late-failure class the
+# exit-code contract covers.
+expect_export_fail() {
+	desc=$1
+	shift
+	code=0
+	"$@" >/dev/null 2>&1 || code=$?
+	if [ "$code" -ne 1 ]; then
+		echo "smoke: $desc exited $code, want 1 (export I/O failure)" >&2
+		exit 1
+	fi
+}
+if [ -w /dev/full ]; then
+	expect_export_fail "walks -trace /dev/full" \
+		"$bin/walks" -n 48 -d 6 -steps 5 -trace /dev/full
+	expect_export_fail "mixing -metrics /dev/full" \
+		"$bin/mixing" -metrics /dev/full
+	expect_export_fail "mst -trace /dev/full" \
+		"$bin/mst" -quick -trace /dev/full
+	expect_export_fail "benchsuite -out /dev/full" \
+		"$bin/benchsuite" -quick -reps 1 -run 'engine-scale/n=100000' -out /dev/full
+	echo "smoke: export exit-code propagation ok"
+else
+	echo "smoke: /dev/full unavailable, skipping export exit-code cases"
+fi
+
+# E17 at quick scale: the multi-process TCP backend must be trace-for-
+# trace identical to the in-process engine. cmd/tcpnode sits next to the
+# walks binary (both came out of the same go build -o "$bin/"), so the
+# default -tcpnode discovery path is exercised too.
+"$bin/walks" -n 48 -d 6 -steps 10 -trace "$out/walks-proc-par.json" >/dev/null
+"$bin/walks" -n 48 -d 6 -steps 10 -transport tcp -shards 2 \
+	-trace "$out/walks-tcp-par.json" >/dev/null
+if ! cmp -s "$out/walks-proc-par.json" "$out/walks-tcp-par.json"; then
+	echo "smoke: TCP transport trace diverges from the in-process engine" >&2
+	exit 1
+fi
+echo "smoke: E17 TCP/proc trace parity ok"

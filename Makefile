@@ -13,7 +13,7 @@ BENCHTIME ?= 1s
 # engine-scale point (BENCHSUITE_FLAGS="-gate" make bench-json).
 BENCHSUITE_FLAGS ?= -quick -gate
 
-.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults tcp-suite
+.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults tcp-suite decomp-suite
 
 build:
 	go build ./...
@@ -48,6 +48,14 @@ smoke:
 # from hanging CI.
 tcp-suite:
 	go test -race -timeout 300s ./internal/transport/... ./internal/congest -run 'TestDifferentialSuite|TestProcMatchesDirectEngine|TestRealProcess|TestShardDeath|TestShardStall|TestDialShard|TestTCPValidates|TestFrame|TestNewShard|TestShardInject|TestConfigure'
+
+# The cluster-scoped-tier suite, race-instrumented and never shortened:
+# the decomposition must be byte-identical across worker counts, the
+# stitched router must deliver every packet deterministically, and the
+# stitched MST must reproduce Kruskal's exact edge set (the correctness
+# contract of DESIGN.md §3's decomposition section).
+decomp-suite:
+	go test -race -timeout 300s ./internal/decomp ./internal/embed ./internal/route ./internal/mst -run 'TestDecomp|TestBuildPartitioned|TestBuildDisconnectedError|TestRoutePartitioned|TestRunPartitioned'
 
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./...

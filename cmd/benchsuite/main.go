@@ -25,6 +25,7 @@ import (
 
 	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
+	"almostmix/internal/decomp"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/metrics"
@@ -451,6 +452,48 @@ func buildCases(quick bool) ([]*benchCase, error) {
 				return err
 			},
 		})
+
+	// Cluster-scoped tier: expander decomposition plus per-cluster
+	// hierarchy construction on a poor-expansion graph (the input class
+	// the decomposition exists for). The extra metric is the tier's
+	// construction cost in base rounds (max over clusters).
+	dg := graph.Barbell(16, 8)
+	if !quick {
+		dg = graph.Barbell(24, 12)
+	}
+	cases = append(cases, &benchCase{
+		name: "decomp/build",
+		bench: func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				dec, err := decomp.Decompose(dg, decomp.Params{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pe, err := embed.BuildPartitioned(dec, embed.DefaultParams(), rngutil.NewSource(91))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = pe.ConstructionRoundsBase()
+			}
+			b.ReportMetric(float64(rounds), "construction-rounds")
+		},
+		observe: func(reg *metrics.Registry) error {
+			dec, err := decomp.Decompose(dg, decomp.Params{})
+			if err != nil {
+				return err
+			}
+			pe, err := embed.BuildPartitioned(dec, embed.DefaultParams(), rngutil.NewSource(91))
+			if err != nil {
+				return err
+			}
+			sink := congest.NewTraceSink().WithMetrics(reg)
+			sink.AddCosts("decomp", dec.Costs)
+			sink.AddCosts("decomp-build", pe.Costs)
+			return nil
+		},
+	})
 
 	// Two ablation points from bench_ablation_test.go's sweeps, kept small
 	// so the suite stays runnable per-commit.

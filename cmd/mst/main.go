@@ -11,6 +11,7 @@ import (
 
 	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
+	"almostmix/internal/decomp"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
@@ -27,6 +28,8 @@ func main() {
 	audit := flag.Bool("audit", false, "print the E9 per-iteration virtual-tree audit")
 	ghsnet := flag.Bool("ghsnet", false, "also run the node-program GHS on the CONGEST simulator")
 	quick := flag.Bool("quick", false, "run only the smallest expander instance (CI smoke)")
+	decompose := flag.Bool("decomp", false, "run E18 instead: MST through the cluster-scoped tier (per-cluster MSFs + GHS stitch over the sparsified graph) on worst-case graphs, against the direct baselines")
+	phi := flag.Float64("phi", 0.1, "conductance target for -decomp's expander decomposition, in (0,1)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 1, "simulator workers for -ghsnet (1 = sequential reference, 0 = one per CPU); results are identical for every value")
 	trace := flag.String("trace", "", "write a trace to this file (.json for JSON, CSV otherwise): per-round records of the -ghsnet runs plus the hierarchical MST's cost-ledger breakdown; implies -ghsnet")
@@ -41,6 +44,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "coordinator listen address for -transport=tcp")
 	tcpnode := flag.String("tcpnode", "", "path to the tcpnode binary for -transport=tcp (default: next to this binary)")
 	flag.Parse()
+	cliutil.Phi("phi", *phi)
 	cliutil.Workers("workers", *workers)
 	cliutil.Min("attempts", *attempts, 1)
 	cliutil.FaultSpec("faults", *faultSpec)
@@ -59,7 +63,11 @@ func main() {
 	}
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
-		err = run(*audit, *ghsnet || *transportName == "tcp", *quick, *seed, *workers, *trace, *faultSpec, *faultSeed, *attempts, tr, sess)
+		if *decompose {
+			err = runE18MST(*quick, *phi, *seed, *trace, sess)
+		} else {
+			err = run(*audit, *ghsnet || *transportName == "tcp", *quick, *seed, *workers, *trace, *faultSpec, *faultSeed, *attempts, tr, sess)
+		}
 		if cerr := sess.Close(); err == nil {
 			err = cerr
 		}
@@ -204,6 +212,89 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace, faultSpec s
 		}
 		fmt.Printf("wrote per-round trace (%d round records, %d cost rows) to %s\n",
 			len(sink.Rounds.Samples), len(sink.Costs), trace)
+	}
+	return nil
+}
+
+// runE18MST regenerates the MST half of experiment E18: each worst-case
+// graph is decomposed into expander clusters, every cluster computes its
+// minimum spanning forest through its own hierarchy (or directly, for
+// tiny tiers), and a GHS pass over the sparsified graph — cluster-tree
+// edges plus all cross edges — stitches the global MST. The cycle
+// property makes the result exact: with distinct weights the edge set
+// equals Kruskal's.
+func runE18MST(quick bool, phi float64, seed uint64, trace string, sess *metrics.Session) error {
+	var sink *congest.TraceSink
+	if trace != "" || sess.Registry() != nil {
+		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
+	}
+	instances := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"rr64d8", graph.RandomRegular(64, 8, rngutil.NewRand(seed))},
+		{"lollipop32+16", graph.Lollipop(32, 16)},
+		{"barbell16+8", graph.Barbell(16, 8)},
+	}
+	if !quick {
+		cl, err := graph.ConnectedChungLu(96, 2.5, 8, seed)
+		if err != nil {
+			return err
+		}
+		instances = append(instances, struct {
+			name string
+			g    *graph.Graph
+		}{"chunglu96", cl})
+	} else {
+		instances = instances[:1]
+	}
+	t := harness.NewTable(fmt.Sprintf("E18 — cluster-scoped MST (φ=%g)", phi),
+		"graph", "n", "clusters", "cross edges", "cluster rounds", "stitch rounds",
+		"total", "GHS", "weight = Kruskal")
+	for _, inst := range instances {
+		g := inst.g
+		g.AssignDistinctRandomWeights(rngutil.NewRand(seed + 7))
+		dec, err := decomp.Decompose(g, decomp.Params{Phi: phi})
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		stopBuild := sess.Time("decomp_build_" + inst.name)
+		pe, err := embed.BuildPartitioned(dec, embed.DefaultParams(), rngutil.NewSource(seed+10))
+		stopBuild()
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		stopMST := sess.Time("decomp_mst_" + inst.name)
+		res, err := mst.RunPartitioned(pe, rngutil.NewSource(seed+20))
+		stopMST()
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		ghs, err := mstbase.GHS(g)
+		if err != nil {
+			return err
+		}
+		_, want := mst.Kruskal(g)
+		if sink != nil {
+			sink.Label(inst.name).AddCosts("decomp", dec.Costs)
+			sink.AddCosts("decomp-build", pe.Costs)
+			sink.AddCosts("decomp-mst", res.Costs)
+		}
+		t.AddRow(inst.name, g.N(), len(dec.Clusters), len(dec.CrossEdges),
+			res.ClusterRounds, res.StitchRounds, res.Rounds, ghs.Rounds,
+			res.Weight == want)
+	}
+	fmt.Println(t)
+	fmt.Println("Per-cluster MSFs run in parallel (cluster rounds = the slowest cluster);")
+	fmt.Println("the stitch is a GHS over cluster trees plus cross edges only. The cycle")
+	fmt.Println("property guarantees the stitched tree is the exact global MST.")
+
+	if sink != nil && trace != "" {
+		if err := sink.WriteFile(trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-cluster certificate and stitched cost rows (%d) to %s\n",
+			len(sink.Costs), trace)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
+	"almostmix/internal/decomp"
 	"almostmix/internal/embed"
 	"almostmix/internal/graph"
 	"almostmix/internal/harness"
@@ -24,19 +25,26 @@ import (
 func main() {
 	levels := flag.Bool("levels", false, "print the E8 per-level decomposition for one run")
 	quick := flag.Bool("quick", false, "run only the smallest expander instance (CI smoke)")
+	decompose := flag.Bool("decomp", false, "run E18 instead: permutation routing through the cluster-scoped tier (expander decomposition + per-cluster hierarchies + boundary stitching) on worst-case graphs, against the direct single-hierarchy baseline")
+	phi := flag.Float64("phi", 0.1, "conductance target for -decomp's expander decomposition, in (0,1)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	trace := flag.String("trace", "", "write a per-round trace of every routing run to this file (.json for JSON, CSV otherwise): preparation-walk congestion, the recursion's phase timeline, and the per-run cost-ledger breakdown")
 	metricsOut := flag.String("metrics", "", "write a host-side metrics snapshot to this file (.json for JSON, CSV otherwise)")
 	pprofMode := flag.String("pprof", "", "capture a runtime profile: cpu, heap or mutex")
 	pprofOut := flag.String("pprofout", "", "profile output path (default <mode>.pprof)")
 	flag.Parse()
+	cliutil.Phi("phi", *phi)
 	cliutil.Writable("trace", *trace)
 	cliutil.Writable("metrics", *metricsOut)
 	cliutil.Writable("pprofout", *pprofOut)
 
 	sess, err := metrics.StartSession(*metricsOut, *pprofMode, *pprofOut)
 	if err == nil {
-		err = run(*levels, *quick, *seed, *trace, sess)
+		if *decompose {
+			err = runE18(*quick, *phi, *seed, *trace, sess)
+		} else {
+			err = run(*levels, *quick, *seed, *trace, sess)
+		}
 		if cerr := sess.Close(); err == nil {
 			err = cerr
 		}
@@ -146,6 +154,86 @@ func run(levels, quick bool, seed uint64, trace string, sess *metrics.Session) e
 		}
 		fmt.Printf("wrote per-round trace (%d round records, %d phase entries, %d cost rows) to %s\n",
 			len(sink.Rounds.Samples), len(sink.Phases.Entries), len(sink.Costs), trace)
+	}
+	return nil
+}
+
+// runE18 regenerates experiment E18: the graphs the single-expander
+// hierarchy degrades on (lollipop, barbell, power-law) are decomposed
+// into expander clusters, embedded per cluster, and a random permutation
+// is routed through the stitched tier. The direct baseline builds one
+// hierarchy on the whole graph and routes the same requests; on the
+// expander control row the two agree (the decomposition is one cluster,
+// so the stitched run IS the direct run).
+func runE18(quick bool, phi float64, seed uint64, trace string, sess *metrics.Session) error {
+	var sink *congest.TraceSink
+	if trace != "" || sess.Registry() != nil {
+		sink = congest.NewTraceSink().WithMetrics(sess.Registry())
+	}
+	instances := []instance{
+		{"rr64d8", graph.RandomRegular(64, 8, rngutil.NewRand(seed))},
+		{"lollipop32+16", graph.Lollipop(32, 16)},
+		{"barbell16+8", graph.Barbell(16, 8)},
+	}
+	if !quick {
+		cl, err := graph.ConnectedChungLu(96, 2.5, 8, seed)
+		if err != nil {
+			return err
+		}
+		instances = append(instances, instance{"chunglu96", cl})
+	} else {
+		instances = instances[:1]
+	}
+	t := harness.NewTable(fmt.Sprintf("E18 — cluster-scoped permutation routing (φ=%g)", phi),
+		"graph", "n", "clusters", "cross edges", "waves", "stitched rounds", "direct rounds", "delivered")
+	for _, inst := range instances {
+		dec, err := decomp.Decompose(inst.g, decomp.Params{Phi: phi})
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		stopBuild := sess.Time("decomp_build_" + inst.name)
+		pe, err := embed.BuildPartitioned(dec, embed.DefaultParams(), rngutil.NewSource(seed+10))
+		stopBuild()
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		reqs := route.RandomPermutation(inst.g, rngutil.NewRand(seed+20))
+		stopRoute := sess.Time("decomp_route_" + inst.name)
+		rep, err := route.RoutePartitioned(pe, reqs, rngutil.NewSource(seed+30))
+		stopRoute()
+		if err != nil {
+			return fmt.Errorf("%s: %w", inst.name, err)
+		}
+		// Direct baseline: one hierarchy over the whole graph, same
+		// parameters as the per-cluster builds, so the comparison
+		// isolates the decomposition itself.
+		direct := "—"
+		if h, err := embed.Build(inst.g, embed.DefaultParams(), rngutil.NewSource(seed+10)); err == nil {
+			if drep, err := route.Route(h, reqs, rngutil.NewSource(seed+30)); err == nil {
+				direct = fmt.Sprint(drep.BaseRounds)
+			}
+		}
+		if sink != nil {
+			sink.Label(inst.name).AddCosts("decomp", dec.Costs)
+			sink.AddCosts("decomp-build", pe.Costs)
+			sink.AddCosts("decomp-route", rep.Costs)
+		}
+		t.AddRow(inst.name, inst.g.N(), len(dec.Clusters), len(dec.CrossEdges),
+			rep.Waves, rep.BaseRounds, direct, rep.Delivered == len(reqs))
+	}
+	fmt.Println(t)
+	fmt.Println("The decomposition turns the worst-case inputs into per-cluster expander")
+	fmt.Println("instances: each cluster routes at its own (small) mixing time and only")
+	fmt.Println("the ε·m boundary edges pay per-hop congestion. The expander control row")
+	fmt.Println("is a single cluster, so the stitched run is one hierarchy routing the")
+	fmt.Println("whole permutation — the same work the direct baseline does.")
+
+	if sink != nil && trace != "" {
+		if err := sink.WriteFile(trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-cluster certificate and stitched cost rows (%d) to %s\n",
+			len(sink.Costs), trace)
 	}
 	return nil
 }

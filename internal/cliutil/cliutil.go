@@ -61,6 +61,16 @@ func Listen(name, v string) {
 	}
 }
 
+// Phi rejects conductance targets outside (0,1): the expander
+// decomposition accepts a piece when its best sweep cut is at least phi,
+// and both endpoints make every graph degenerate (0 accepts everything,
+// 1 is unattainable — a cut of conductance 1 still "fails").
+func Phi(name string, v float64) {
+	if v <= 0 || v >= 1 {
+		Fail("invalid -%s %g: conductance target must be in (0,1)", name, v)
+	}
+}
+
 // FaultSpec rejects a fault-injection spec that does not parse, quoting
 // the parser's complaint.
 func FaultSpec(name, spec string) {

@@ -46,6 +46,19 @@ func TestWorkers(t *testing.T) {
 	}
 }
 
+func TestPhi(t *testing.T) {
+	for _, v := range []float64{0.001, 0.1, 0.5, 0.999} {
+		if code := withExitCapture(func() { Phi("phi", v) }); code != -1 {
+			t.Fatalf("phi=%g exited with %d", v, code)
+		}
+	}
+	for _, v := range []float64{0, -0.1, 1, 1.5} {
+		if code := withExitCapture(func() { Phi("phi", v) }); code != 2 {
+			t.Fatalf("phi=%g exited with %d, want 2", v, code)
+		}
+	}
+}
+
 func TestFaultSpec(t *testing.T) {
 	for _, spec := range []string{"", "drop=0.1", "drop=0.05,dup=0.01,delay=0.1:3,crash=2@5+4,sever=1@2"} {
 		if code := withExitCapture(func() { FaultSpec("faults", spec) }); code != -1 {

@@ -56,7 +56,8 @@ func Build(g *graph.Graph, p Params, src *rngutil.Source) (*Hierarchy, error) {
 		return nil, err
 	}
 	if !g.IsConnected() {
-		return nil, fmt.Errorf("embed: base graph disconnected: %w", graph.ErrDisconnected)
+		return nil, fmt.Errorf("embed: base graph is disconnected (%d connected components); the single-expander hierarchy needs a connected graph — decompose into clusters first (-decomp): %w",
+			len(g.Components()), graph.ErrDisconnected)
 	}
 	tau := p.TauMix
 	if tau == 0 {

@@ -1,0 +1,162 @@
+package graph
+
+// Tests for the induced-subgraph cluster view: relabeling must
+// round-trip in both directions, the cluster view of the full graph must
+// be the identity, induced edges must carry parent weights and
+// orientation, and boundary-edge lists must be symmetric across a
+// partition (every cross edge shows up in exactly the two views of its
+// endpoints, mirrored).
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestInducedSubgraphIdentity(t *testing.T) {
+	for _, g := range []*Graph{Ring(9), Lollipop(8, 4), Grid(4, 5), Complete(6)} {
+		nodes := make([]int, g.N())
+		for i := range nodes {
+			nodes[i] = i
+		}
+		s := g.InducedSubgraph(nodes)
+		if err := s.G.Validate(); err != nil {
+			t.Fatalf("identity view invalid: %v", err)
+		}
+		if s.G.N() != g.N() || s.G.M() != g.M() {
+			t.Fatalf("identity view: n=%d m=%d, want n=%d m=%d", s.G.N(), s.G.M(), g.N(), g.M())
+		}
+		for id := 0; id < g.M(); id++ {
+			if s.G.Edge(id) != g.Edge(id) {
+				t.Fatalf("identity view edge %d: got %+v, want %+v", id, s.G.Edge(id), g.Edge(id))
+			}
+			if s.GlobalEdge(id) != id {
+				t.Fatalf("identity view GlobalEdge(%d) = %d", id, s.GlobalEdge(id))
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if s.Global(v) != v || s.Local(v) != v {
+				t.Fatalf("identity view relabel at %d: global=%d local=%d", v, s.Global(v), s.Local(v))
+			}
+			gh, wh := s.G.Neighbors(v), g.Neighbors(v)
+			if len(gh) != len(wh) {
+				t.Fatalf("identity view deg(%d)=%d, want %d", v, len(gh), len(wh))
+			}
+		}
+		if len(s.Boundary()) != 0 {
+			t.Fatalf("identity view has %d boundary edges", len(s.Boundary()))
+		}
+	}
+}
+
+func TestInducedSubgraphRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + r.IntN(40)
+		g := Gnp(n, 0.2, r)
+		// Random nonempty subset in random order.
+		perm := r.Perm(n)
+		k := 1 + r.IntN(n)
+		nodes := perm[:k]
+		s := g.InducedSubgraph(nodes)
+		if err := s.G.Validate(); err != nil {
+			t.Fatalf("trial %d: induced graph invalid: %v", trial, err)
+		}
+		inSet := make([]bool, n)
+		for l, v := range nodes {
+			inSet[v] = true
+			if s.Global(l) != v {
+				t.Fatalf("trial %d: Global(%d)=%d, want %d", trial, l, s.Global(l), v)
+			}
+			if s.Local(v) != l {
+				t.Fatalf("trial %d: Local(%d)=%d, want %d", trial, v, s.Local(v), l)
+			}
+		}
+		for v := 0; v < n; v++ {
+			l := s.Local(v)
+			if !inSet[v] {
+				if l != -1 {
+					t.Fatalf("trial %d: outside node %d has local id %d", trial, v, l)
+				}
+				continue
+			}
+			if s.Global(l) != v {
+				t.Fatalf("trial %d: round-trip %d -> %d -> %d", trial, v, l, s.Global(l))
+			}
+		}
+		// Induced edges carry parent orientation, weight, and edge IDs.
+		for id := 0; id < s.G.M(); id++ {
+			le, pe := s.G.Edge(id), g.Edge(s.GlobalEdge(id))
+			if s.Global(le.U) != pe.U || s.Global(le.V) != pe.V || le.W != pe.W {
+				t.Fatalf("trial %d: local edge %d = %+v does not match parent %+v", trial, id, le, pe)
+			}
+		}
+		// Internal + boundary halfedges account for every parent edge
+		// touching the set.
+		internal, boundary := s.G.M(), len(s.Boundary())
+		want := 0
+		for _, e := range g.Edges() {
+			switch {
+			case inSet[e.U] && inSet[e.V]:
+				want++
+			}
+		}
+		if internal != want {
+			t.Fatalf("trial %d: %d internal edges, want %d", trial, internal, want)
+		}
+		for _, b := range s.Boundary() {
+			if !inSet[b.Inside] || inSet[b.Outside] {
+				t.Fatalf("trial %d: boundary edge %+v sides wrong", trial, b)
+			}
+			e := g.Edge(b.EdgeID)
+			if (e.U != b.Inside || e.V != b.Outside) && (e.V != b.Inside || e.U != b.Outside) {
+				t.Fatalf("trial %d: boundary edge %+v does not match parent %+v", trial, b, e)
+			}
+		}
+		if cut := g.CutSize(inSet); boundary != cut {
+			t.Fatalf("trial %d: %d boundary edges, cut size %d", trial, boundary, cut)
+		}
+	}
+}
+
+func TestInducedSubgraphBoundarySymmetry(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + r.IntN(30)
+		g := Gnp(n, 0.25, r)
+		var left, right []int
+		for v := 0; v < n; v++ {
+			if r.IntN(2) == 0 {
+				left = append(left, v)
+			} else {
+				right = append(right, v)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		sl, sr := g.InducedSubgraph(left), g.InducedSubgraph(right)
+		if len(sl.Boundary()) != len(sr.Boundary()) {
+			t.Fatalf("trial %d: boundary sizes %d vs %d", trial, len(sl.Boundary()), len(sr.Boundary()))
+		}
+		mirror := make(map[int]BoundaryEdge, len(sr.Boundary()))
+		for _, b := range sr.Boundary() {
+			mirror[b.EdgeID] = b
+		}
+		for _, b := range sl.Boundary() {
+			m, ok := mirror[b.EdgeID]
+			if !ok {
+				t.Fatalf("trial %d: edge %d on left boundary only", trial, b.EdgeID)
+			}
+			if m.Inside != b.Outside || m.Outside != b.Inside {
+				t.Fatalf("trial %d: edge %d not mirrored: left %+v right %+v", trial, b.EdgeID, b, m)
+			}
+		}
+	}
+}
+
+func TestInducedSubgraphRejectsBadNodes(t *testing.T) {
+	g := Ring(5)
+	mustPanic(t, "out-of-range node", func() { g.InducedSubgraph([]int{0, 5}) })
+	mustPanic(t, "negative node", func() { g.InducedSubgraph([]int{-1}) })
+	mustPanic(t, "duplicate node", func() { g.InducedSubgraph([]int{1, 2, 1}) })
+}

@@ -14,7 +14,6 @@ import (
 
 	"almostmix/internal/faults"
 	"almostmix/internal/graph"
-	"almostmix/internal/mst"
 	"almostmix/internal/rngutil"
 )
 
@@ -63,7 +62,7 @@ func TestGHSFaultsConvergesToMST(t *testing.T) {
 	}
 	for _, spec := range specs {
 		g := ghsFaultGraph(11)
-		_, wantWeight := mst.Kruskal(g)
+		_, wantWeight := Kruskal(g)
 
 		run := func(workers int) *FaultyMSTResult {
 			res, err := GHSNetworkFaults(g, rngutil.NewSource(11), workers, spec, 5, 8, nil, nil)
@@ -98,7 +97,7 @@ func TestGHSFaultsConvergesToMST(t *testing.T) {
 // retry after recovery, and the run still produces the exact MST.
 func TestGHSFaultsCoordinatorCrash(t *testing.T) {
 	g := ghsFaultGraph(29)
-	_, wantWeight := mst.Kruskal(g)
+	_, wantWeight := Kruskal(g)
 	// Node 23 is the largest ID, hence the root of whatever fragment it
 	// merges into; knock it out across two window boundaries.
 	w := 3*g.N() + 6

@@ -16,7 +16,6 @@ import (
 
 	"almostmix/internal/congest"
 	"almostmix/internal/graph"
-	"almostmix/internal/mst"
 	"almostmix/internal/rngutil"
 )
 
@@ -55,7 +54,7 @@ func TestGHSNetworkDifferential(t *testing.T) {
 		g.AssignDistinctRandomWeights(r)
 
 		refTrace, ref := ghsTrace(t, g, seed, 1)
-		_, wantWeight := mst.Kruskal(g)
+		_, wantWeight := Kruskal(g)
 		if ref.Weight != wantWeight {
 			t.Fatalf("seed %d: sequential GHS weight %v, Kruskal %v", seed, ref.Weight, wantWeight)
 		}

@@ -23,6 +23,7 @@ package mstbase
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"almostmix/internal/graph"
 )
@@ -286,4 +287,47 @@ func KP(g *graph.Graph) (*Result, error) {
 	res.Edges = s.chosen
 	res.Weight = g.TotalWeight(s.chosen)
 	return res, nil
+}
+
+// Kruskal computes the MST centrally (sorting by weight with edge-ID tie
+// break, union-find) and returns the chosen edge IDs and total weight. It
+// is the ground truth the distributed algorithms are verified against.
+func Kruskal(g *graph.Graph) ([]int, float64) {
+	ids := make([]int, g.M())
+	for i := range ids {
+		ids[i] = i
+	}
+	edges := g.Edges()
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := edges[ids[a]], edges[ids[b]]
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return ids[a] < ids[b]
+	})
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	chosen := make([]int, 0, g.N()-1)
+	total := 0.0
+	for _, id := range ids {
+		e := edges[id]
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue
+		}
+		parent[ru] = rv
+		chosen = append(chosen, id)
+		total += e.W
+	}
+	return chosen, total
 }

@@ -6,7 +6,6 @@ import (
 	"testing/quick"
 
 	"almostmix/internal/graph"
-	"almostmix/internal/mst"
 	"almostmix/internal/rngutil"
 )
 
@@ -19,7 +18,7 @@ func sortedCopy(xs []int) []int {
 
 func assertMatchesKruskal(t *testing.T, g *graph.Graph, got *Result) {
 	t.Helper()
-	wantEdges, wantW := mst.Kruskal(g)
+	wantEdges, wantW := Kruskal(g)
 	if got.Weight != wantW {
 		t.Fatalf("weight %v, want %v", got.Weight, wantW)
 	}

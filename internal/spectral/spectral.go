@@ -268,12 +268,28 @@ func normalize(f []float64) {
 	}
 }
 
+// TimeUnmixed is the sentinel MixingTimeEstimate returns for graphs whose
+// walks never mix (disconnected graphs have λ₂ = 1, so the spectral
+// formula would otherwise emit an arbitrarily large garbage value).
+const TimeUnmixed = -1
+
 // MixingTimeEstimate returns a spectral upper estimate of the mixing time:
 // t ≈ ln(n / (ε·π_min)) / (1 − λ₂) with ε the Definition 2.1 slack
 // π_min/n. For graphs where the exact computation is infeasible this is
 // the quantity experiments report, and tests confirm it brackets the exact
 // value on small graphs.
+//
+// Disconnected graphs return TimeUnmixed: their walk operator has a second
+// eigenvalue of exactly 1, so no finite mixing time exists (the
+// decomposition recursion probes subgraphs that hit this case). Graphs
+// with fewer than two nodes are already mixed and return 0.
 func MixingTimeEstimate(g *graph.Graph, kind WalkKind) int {
+	if g.N() < 2 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return TimeUnmixed
+	}
 	lambda := SecondEigenvalue(g, kind, 200)
 	if lambda >= 1 {
 		lambda = 1 - 1e-9
@@ -333,12 +349,21 @@ func EdgeExpansion(g *graph.Graph) float64 {
 
 // Conductance computes φ(G) = min_{vol(S)≤m} e(S,V\S)/vol(S) exactly by
 // subset enumeration. Feasible for n ≤ 24.
+//
+// Disconnected graphs return 0, the mathematical convention (a connected
+// component is a zero-cut set). The explicit check matters because the
+// enumeration's vol ≥ 1 admissibility filter would otherwise skip
+// zero-volume components (isolated nodes) and report a garbage positive
+// value.
 func Conductance(g *graph.Graph) float64 {
 	n := g.N()
 	if n > 24 {
 		panic("spectral: exact conductance limited to n <= 24")
 	}
 	if n < 2 {
+		return 0
+	}
+	if !g.IsConnected() {
 		return 0
 	}
 	m := g.M()
@@ -386,27 +411,52 @@ func trailingZeros(i int) int {
 // returned value is the expansion of an actual cut, hence always an upper
 // bound on h(G).
 func EdgeExpansionSweep(g *graph.Graph) float64 {
-	h, _ := sweepCut(g, func(cut, size, _ int) float64 {
+	h, _, _ := sweepCut(g, func(cut, size, _ int) float64 {
 		return float64(cut) / float64(size)
 	}, func(size, vol, n, m int) bool { return size >= 1 && size <= n/2 })
 	return h
 }
 
 // ConductanceSweep estimates φ(G) from above by a Fiedler sweep cut.
+//
+// Disconnected graphs return 0, the true conductance (a connected
+// component is a zero-cut set); the power iteration's Fiedler
+// approximation does not converge on a disconnected walk operator, so
+// without the check the sweep could return an arbitrary positive value.
 func ConductanceSweep(g *graph.Graph) float64 {
-	phi, _ := sweepCut(g, func(cut, _, vol int) float64 {
-		return float64(cut) / float64(vol)
-	}, func(size, vol, n, m int) bool { return vol >= 1 && vol <= m })
+	phi, _ := ConductanceSweepCut(g)
 	return phi
 }
 
+// ConductanceSweepCut returns the ConductanceSweep upper bound together
+// with the side S realizing it (inS[v] reports membership in the sweep
+// prefix; both S and its complement are nonempty). The decomposition
+// trimming loop needs the cut itself, not just its value.
+//
+// Disconnected graphs return (0, nil): split along connected components
+// before sweeping. Graphs with fewer than two nodes also return (0, nil).
+func ConductanceSweepCut(g *graph.Graph) (float64, []bool) {
+	if g.N() < 2 || !g.IsConnected() {
+		return 0, nil
+	}
+	phi, size, order := sweepCut(g, func(cut, _, vol int) float64 {
+		return float64(cut) / float64(vol)
+	}, func(size, vol, n, m int) bool { return vol >= 1 && vol <= m })
+	inS := make([]bool, g.N())
+	for _, v := range order[:size] {
+		inS[v] = true
+	}
+	return phi, inS
+}
+
 // sweepCut orders nodes by the approximate Fiedler vector and scans all
-// prefixes, returning the best objective value and the prefix size.
+// prefixes, returning the best objective value, the prefix size, and the
+// Fiedler order itself (order[:size] is the best prefix).
 func sweepCut(g *graph.Graph, objective func(cut, size, vol int) float64,
-	admissible func(size, vol, n, m int) bool) (float64, int) {
+	admissible func(size, vol, n, m int) bool) (float64, int, []int) {
 	n := g.N()
 	if n < 2 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	pi := Stationary(g, Lazy)
 	f := make([]float64, n)
@@ -443,7 +493,7 @@ func sweepCut(g *graph.Graph, objective func(cut, size, vol int) float64,
 			}
 		}
 	}
-	return best, bestSize
+	return best, bestSize, order
 }
 
 func argsort(f []float64) []int {

@@ -140,6 +140,33 @@ if ! grep -q '"steady_allocs_per_round"' "$out/bench-smoke.json"; then
 fi
 echo "smoke: E16 engine scale (n=1e5, zero-alloc) ok"
 
+# E18 at quick scale: the cluster-scoped tier (expander decomposition +
+# per-cluster hierarchies) must route and span through both drivers, and
+# the decomposition / build / run ledgers must all land in the trace.
+"$bin/routing" -decomp -quick -trace "$out/routing-decomp.json" \
+	-metrics "$out/routing-decomp-metrics.json" >/dev/null
+check_trace "routing -decomp" "$out/routing-decomp.json"
+check_metrics "routing -decomp" "$out/routing-decomp-metrics.json"
+for ledger in decomp decomp-build decomp-route; do
+	if ! grep -q "\"run\": \"rr64d8 $ledger\"" "$out/routing-decomp.json"; then
+		echo "smoke: routing -decomp trace lacks the $ledger ledger" >&2
+		exit 1
+	fi
+done
+"$bin/mst" -decomp -quick -trace "$out/mst-decomp.json" >/dev/null
+check_trace "mst -decomp" "$out/mst-decomp.json"
+if ! grep -q '"decomp-mst"' "$out/mst-decomp.json"; then
+	echo "smoke: mst -decomp trace lacks the decomp-mst ledger" >&2
+	exit 1
+fi
+"$bin/hierarchy" -n 48 -d 6 -decomp -trace "$out/hierarchy-decomp.json" >/dev/null
+check_trace "hierarchy -decomp" "$out/hierarchy-decomp.json"
+if ! grep -q 'decomp/certificates/cluster-' "$out/hierarchy-decomp.json"; then
+	echo "smoke: hierarchy -decomp trace lacks per-cluster certificate spans" >&2
+	exit 1
+fi
+echo "smoke: E18 decomposition tier ok"
+
 # Uniform up-front flag validation: nonsense values and unwritable output
 # paths must exit 2 before any work starts.
 expect_reject() {
@@ -174,6 +201,10 @@ expect_reject "walks bad -listen" "$bin/walks" -transport tcp -listen not-a-host
 expect_reject "walks tcp with faults" "$bin/walks" -transport tcp -faults 'drop=0.1'
 expect_reject "mst -transport bogus" "$bin/mst" -transport bogus
 expect_reject "mst tcp with faults" "$bin/mst" -quick -transport tcp -faults 'drop=0.1'
+expect_reject "routing -phi 0" "$bin/routing" -decomp -phi 0
+expect_reject "routing -phi 1.5" "$bin/routing" -decomp -phi 1.5
+expect_reject "mst -decomp -phi 1" "$bin/mst" -decomp -phi 1
+expect_reject "hierarchy -phi -0.1" "$bin/hierarchy" -decomp -phi -0.1
 echo "smoke: flag validation ok"
 
 # Export I/O failures must reach the exit code as 1 (a run that worked

@@ -13,7 +13,7 @@ BENCHTIME ?= 1s
 # engine-scale point (BENCHSUITE_FLAGS="-gate" make bench-json).
 BENCHSUITE_FLAGS ?= -quick -gate
 
-.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults tcp-suite decomp-suite
+.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults tcp-suite decomp-suite obs-suite
 
 build:
 	go build ./...
@@ -48,6 +48,16 @@ smoke:
 # from hanging CI.
 tcp-suite:
 	go test -race -timeout 300s ./internal/transport/... ./internal/congest -run 'TestDifferentialSuite|TestProcMatchesDirectEngine|TestRealProcess|TestShardDeath|TestShardStall|TestDialShard|TestTCPValidates|TestFrame|TestNewShard|TestShardInject|TestConfigure'
+
+# The observability suite, race-instrumented and never shortened: the
+# -obsout document on every exit path (an induced StallAtRound must
+# produce a schema-valid dump naming the guilty shard, its last completed
+# round and the barrier phase), the shard telemetry ship-back reaching
+# the coordinator's registry, the flight-recorder ring contract, and the
+# differential guarantee that full telemetry leaves trace bytes identical
+# across backends and worker counts.
+obs-suite:
+	go test -race -timeout 300s ./internal/flightrec ./internal/transport -run 'TestObs|TestTelemetry|TestFlightRec|TestShardDeath|TestShardStall|TestNilRecorder|TestRing|TestPartialRing|TestAttribute|TestValidate|TestDump|TestWriteDump|TestConcurrentRecord|TestDefaultCapacity'
 
 # The cluster-scoped-tier suite, race-instrumented and never shortened:
 # the decomposition must be byte-identical across worker counts, the

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"almostmix/internal/cliutil"
 	"almostmix/internal/congest"
@@ -35,6 +36,8 @@ import (
 	"almostmix/internal/rngutil"
 	"almostmix/internal/route"
 	"almostmix/internal/spectral"
+	"almostmix/internal/transport"
+	_ "almostmix/internal/transport/workloads"
 )
 
 // Schema identifies the benchsuite output format.
@@ -190,24 +193,38 @@ func runAllocGate(doc *Document) error {
 	g := graph.RingLattice(gateNodes, 4)
 	doc.SteadyAllocs = make(map[string]float64)
 	var failures []string
-	for _, workers := range []int{1, 8} {
-		workers := workers
-		name := "sequential"
-		if workers != 1 {
-			name = fmt.Sprintf("workers=%d", workers)
-		}
+	// The telemetry configurations attach a live metrics registry (shared
+	// across the differential runs so instrument resolution cancels): the
+	// zero-alloc contract must hold with host telemetry ON, not just with
+	// the layer compiled to its nil fast path.
+	reg := metrics.New()
+	for _, cfg := range []struct {
+		name      string
+		workers   int
+		telemetry bool
+	}{
+		{"sequential", 1, false},
+		{"workers=8", 8, false},
+		{"sequential/telemetry", 1, true},
+		{"workers=8/telemetry", 8, true},
+	} {
+		cfg := cfg
 		per := congest.MeasureSteadyAllocs(func() *congest.Network {
-			return congest.NewUniformNetwork(g, func(int) congest.Program {
+			net := congest.NewUniformNetwork(g, func(int) congest.Program {
 				return congest.NewTicker(1 << 30)
-			}, rngutil.NewSource(9)).SetWorkers(workers)
+			}, rngutil.NewSource(9)).SetWorkers(cfg.workers)
+			if cfg.telemetry {
+				net.SetMetrics(reg)
+			}
+			return net
 		}, gateRounds)
-		doc.SteadyAllocs[name] = per
+		doc.SteadyAllocs[cfg.name] = per
 		status := "ok"
 		if per >= noiseFloor {
 			status = "FAIL"
-			failures = append(failures, fmt.Sprintf("%s: %.3f allocs/round", name, per))
+			failures = append(failures, fmt.Sprintf("%s: %.3f allocs/round", cfg.name, per))
 		}
-		fmt.Printf("alloc-gate %-12s %8.3f allocs/round  %s\n", name, per, status)
+		fmt.Printf("alloc-gate %-22s %8.3f allocs/round  %s\n", cfg.name, per, status)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("alloc gate: steady-state rounds allocate (%s), want integer-zero", strings.Join(failures, "; "))
@@ -544,6 +561,56 @@ func buildCases(quick bool) ([]*benchCase, error) {
 			},
 		})
 	}
+
+	// Transport-tcp case: the walks workload through the full wire
+	// protocol over loopback, shards as goroutines so the suite needs no
+	// tcpnode binary. The extra metric is the p99 cross-shard step-barrier
+	// skew from the coordinator's telemetry histograms — the number the
+	// obs tier exists to attribute (cmd/obsreport joins it back).
+	tn, tsteps := 512, 12
+	if quick {
+		tn, tsteps = 128, 6
+	}
+	tspec := transport.Spec{Workload: "walks", Graph: "rr", N: tn, D: 4, K: 1,
+		Steps: tsteps, Seed: 131, SrcSeed: 231}
+	newTCP := func() transport.TCP {
+		return transport.TCP{
+			Shards:  2,
+			Timeout: 60 * time.Second,
+			Spawn: func(shard int, addr string) (transport.ShardHandle, error) {
+				done := make(chan error, 1)
+				go func() {
+					conn, err := transport.DialShard(addr, 10*time.Second)
+					if err != nil {
+						done <- err
+						return
+					}
+					done <- transport.ServeShard(conn, shard, transport.ShardConfig{})
+				}()
+				return transport.ShardHandle{Wait: func() error { return <-done }, Kill: func() {}}, nil
+			},
+		}
+	}
+	cases = append(cases, &benchCase{
+		name: "transport-tcp/shards=2",
+		bench: func(b *testing.B) {
+			b.ReportAllocs()
+			reg := metrics.New()
+			tcp := newTCP()
+			for i := 0; i < b.N; i++ {
+				if _, err := tcp.Run(tspec, transport.Options{Metrics: reg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if h := reg.Snapshot().Histogram("tcpnet_round_skew_ns"); h != nil && h.Count > 0 {
+				b.ReportMetric(float64(h.Quantile(0.99)), "round_skew_p99_ns")
+			}
+		},
+		observe: func(reg *metrics.Registry) error {
+			_, err := newTCP().Run(tspec, transport.Options{Metrics: reg})
+			return err
+		},
+	})
 	return cases, nil
 }
 

@@ -43,6 +43,9 @@ func main() {
 	shards := flag.Int("shards", 2, "node processes for -transport=tcp")
 	listen := flag.String("listen", "127.0.0.1:0", "coordinator listen address for -transport=tcp")
 	tcpnode := flag.String("tcpnode", "", "path to the tcpnode binary for -transport=tcp (default: next to this binary)")
+	tcptimeout := flag.Duration("tcptimeout", 0, "wire barrier deadline for -transport=tcp (0 = transport default, 60s)")
+	obsOut := flag.String("obsout", "", "write the tcp run's merged observability document (flight recorders, wire tallies, barrier timeline, round skew) to this file on every exit path")
+	flightRec := flag.Int("flightrec", 0, "flight-recorder ring capacity on coordinator and shards for -transport=tcp (0 = default)")
 	flag.Parse()
 	cliutil.Phi("phi", *phi)
 	cliutil.Workers("workers", *workers)
@@ -51,13 +54,26 @@ func main() {
 	cliutil.Transport("transport", *transportName)
 	cliutil.Min("shards", *shards, 1)
 	cliutil.Listen("listen", *listen)
+	cliutil.Min("flightrec", *flightRec, 0)
 	if *transportName == "tcp" && *faultSpec != "" {
 		cliutil.Fail("-faults needs -transport=proc: shard replicas cannot observe global fault state (see DESIGN.md)")
+	}
+	if *transportName != "tcp" && *obsOut != "" {
+		cliutil.Fail("-obsout needs -transport=tcp: the observability document describes a distributed run")
 	}
 	cliutil.Writable("trace", *trace)
 	cliutil.Writable("metrics", *metricsOut)
 	cliutil.Writable("pprofout", *pprofOut)
-	tr, err := transport.NewBackend(*transportName, *workers, *shards, *listen, *tcpnode)
+	cliutil.Writable("obsout", *obsOut)
+	tr, err := transport.NewBackend(*transportName, transport.BackendConfig{
+		Workers:      *workers,
+		Shards:       *shards,
+		Listen:       *listen,
+		NodeBin:      *tcpnode,
+		Timeout:      *tcptimeout,
+		ObsOut:       *obsOut,
+		FlightRecCap: *flightRec,
+	})
 	if err != nil {
 		cliutil.Fail("%v", err)
 	}

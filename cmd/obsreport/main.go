@@ -1,0 +1,435 @@
+// Command obsreport joins the TCP transport's observability artifacts
+// into one per-round attribution report: the -obsout document (required
+// — coordinator + shard flight recorders, wire tallies, barrier
+// timeline, round skew), an optional -metrics snapshot, and an optional
+// BENCH_*.json from cmd/benchsuite. The output answers "where did the
+// wall time of this distributed run go, and if it died, which shard is
+// guilty" — per round, per phase, per shard.
+//
+// The report is plain text on stdout (or -out); all inputs are the
+// schema-versioned JSON the run itself wrote, so the tool works on a
+// dump scraped off a dead machine as well as on a fresh local run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"almostmix/internal/cliutil"
+	"almostmix/internal/flightrec"
+	"almostmix/internal/metrics"
+	"almostmix/internal/transport"
+)
+
+func main() {
+	obsPath := flag.String("obs", "", "obs document from a -obsout run (required)")
+	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to join (optional)")
+	benchPath := flag.String("bench", "", "BENCH_*.json from cmd/benchsuite to join (optional)")
+	outPath := flag.String("out", "", "report destination (default: stdout)")
+	tail := flag.Int("tail", 12, "flight-recorder events to show per endpoint")
+	flag.Parse()
+	if *obsPath == "" {
+		cliutil.Fail("missing -obs (an -obsout document is required)")
+	}
+	cliutil.Min("tail", *tail, 1)
+	cliutil.Writable("out", *outPath)
+
+	doc, err := readObs(*obsPath)
+	if err != nil {
+		fatal(err)
+	}
+	var snap *metrics.Snapshot
+	if *metricsPath != "" {
+		if snap, err = readMetrics(*metricsPath); err != nil {
+			fatal(err)
+		}
+	}
+	var bench *benchDoc
+	if *benchPath != "" {
+		if bench, err = readBench(*benchPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(fmt.Errorf("obsreport: %w", err))
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("obsreport: close %s: %w", *outPath, err))
+			}
+		}()
+		out = f
+	}
+	report(out, doc, snap, bench, *tail)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsreport:", err)
+	os.Exit(1)
+}
+
+func readObs(path string) (*transport.ObsDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obsreport: %w", err)
+	}
+	return transport.ReadObs(b)
+}
+
+func readMetrics(path string) (*metrics.Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obsreport: %w", err)
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("obsreport: decoding metrics snapshot %s: %w", path, err)
+	}
+	if s.Schema != metrics.Schema {
+		return nil, fmt.Errorf("obsreport: metrics schema %q, want %q", s.Schema, metrics.Schema)
+	}
+	return &s, nil
+}
+
+// benchDoc mirrors the slice of cmd/benchsuite's Document this report
+// joins against; decoding locally keeps the two binaries decoupled
+// (benchsuite is package main). Unknown fields are ignored, so the
+// report survives benchsuite growing its schema.
+type benchDoc struct {
+	Schema       string             `json:"schema"`
+	GitSHA       string             `json:"git_sha"`
+	Cases        []benchCase        `json:"cases"`
+	SteadyAllocs map[string]float64 `json:"steady_allocs_per_round"`
+}
+
+type benchCase struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra"`
+}
+
+func readBench(path string) (*benchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obsreport: %w", err)
+	}
+	var d benchDoc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("obsreport: decoding bench document %s: %w", path, err)
+	}
+	if !strings.HasPrefix(d.Schema, "almostmix-bench/") {
+		return nil, fmt.Errorf("obsreport: bench schema %q, want almostmix-bench/*", d.Schema)
+	}
+	return &d, nil
+}
+
+// report renders every section the inputs can support. Sections are
+// keyed by "== name ==" markers so scripts (the obs-suite smoke) can
+// grep them without parsing the layout.
+func report(w io.Writer, d *transport.ObsDoc, snap *metrics.Snapshot, bench *benchDoc, tail int) {
+	header(w, d)
+	rounds(w, d)
+	shards(w, d)
+	wire(w, d)
+	recorder(w, "coordinator", &d.Coordinator, tail)
+	for i, sd := range d.ShardDumps {
+		if sd == nil {
+			fmt.Fprintf(w, "\n== flight recorder: shard %d ==\nno dump shipped (shard died before TELEMETRY)\n", i)
+			continue
+		}
+		recorder(w, fmt.Sprintf("shard %d", i), sd, tail)
+	}
+	if snap != nil {
+		metricsJoin(w, snap)
+	}
+	if bench != nil {
+		benchJoin(w, bench)
+	}
+}
+
+func header(w io.Writer, d *transport.ObsDoc) {
+	fmt.Fprintf(w, "== run ==\n")
+	fmt.Fprintf(w, "workload=%s graph=%s n=%d backend=%s shards=%d rounds=%d\n",
+		d.Spec.Workload, d.Spec.Graph, d.Spec.N, d.Backend, d.Shards, d.Rounds)
+	fmt.Fprintf(w, "reason=%s", d.Reason)
+	if d.GuiltyShard >= 0 {
+		fmt.Fprintf(w, " guilty_shard=%d last_round=%d", d.GuiltyShard, d.LastRound)
+		if d.Phase != "" {
+			fmt.Fprintf(w, " phase=%s", d.Phase)
+		}
+	}
+	fmt.Fprintln(w)
+	if d.Error != "" {
+		fmt.Fprintf(w, "error: %s\n", d.Error)
+	}
+}
+
+// rounds aggregates the coordinator timeline into one row per round:
+// total coordinator wall time in each barrier phase (summed over
+// shards; broadcast-write rows carry shard -1 and land in the same
+// phase column), joined with that round's cross-shard skew.
+func rounds(w io.Writer, d *transport.ObsDoc) {
+	type agg map[string]int64
+	perRound := map[int]agg{}
+	var phaseSet []string
+	seen := map[string]bool{}
+	for _, r := range d.Timeline {
+		if r.Round < 0 {
+			continue // pre-round handshake: reported in the setup line below
+		}
+		a := perRound[r.Round]
+		if a == nil {
+			a = agg{}
+			perRound[r.Round] = a
+		}
+		a[r.Phase] += r.WallNS
+		if !seen[r.Phase] {
+			seen[r.Phase] = true
+			phaseSet = append(phaseSet, r.Phase)
+		}
+	}
+	skew := map[int]int64{}
+	for _, s := range d.Skew {
+		skew[s.Round] = s.SkewNS
+	}
+	var setup int64
+	for _, r := range d.Timeline {
+		if r.Round < 0 {
+			setup += r.WallNS
+		}
+	}
+
+	fmt.Fprintf(w, "\n== per-round attribution (coordinator wall ns) ==\n")
+	if setup > 0 {
+		fmt.Fprintf(w, "setup (accept/spec/init): %d ns\n", setup)
+	}
+	if len(perRound) == 0 {
+		fmt.Fprintln(w, "no per-round timeline (run died before the first barrier, or -obsout ran without timeline capture)")
+		return
+	}
+	// Phase columns in protocol order, not first-seen order.
+	order := []string{"deliver-write", "deliver-wait", "step-write", "step-wait", "harvest"}
+	var cols []string
+	for _, p := range order {
+		if seen[p] {
+			cols = append(cols, p)
+			seen[p] = false
+		}
+	}
+	for _, p := range phaseSet {
+		if seen[p] {
+			cols = append(cols, p)
+		}
+	}
+	var roundIDs []int
+	for r := range perRound {
+		roundIDs = append(roundIDs, r)
+	}
+	sort.Ints(roundIDs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "round\t%s\tskew_ns\n", strings.Join(cols, "\t"))
+	for _, r := range roundIDs {
+		fmt.Fprintf(tw, "%d", r)
+		for _, p := range cols {
+			fmt.Fprintf(tw, "\t%d", perRound[r][p])
+		}
+		fmt.Fprintf(tw, "\t%d\n", skew[r])
+	}
+	tw.Flush()
+}
+
+// shards totals each shard's attributable wait time across the run —
+// the column that names the straggler.
+func shards(w io.Writer, d *transport.ObsDoc) {
+	type tot struct{ deliver, step, other int64 }
+	per := map[int]*tot{}
+	for _, r := range d.Timeline {
+		if r.Shard < 0 {
+			continue
+		}
+		t := per[r.Shard]
+		if t == nil {
+			t = &tot{}
+			per[r.Shard] = t
+		}
+		switch r.Phase {
+		case "deliver-wait":
+			t.deliver += r.WallNS
+		case "step-wait":
+			t.step += r.WallNS
+		default:
+			t.other += r.WallNS
+		}
+	}
+	if len(per) == 0 {
+		return
+	}
+	var ids []int
+	for s := range per {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	fmt.Fprintf(w, "\n== per-shard wait totals (coordinator wall ns) ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shard\tdeliver-wait\tstep-wait\tother")
+	for _, s := range ids {
+		t := per[s]
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\n", s, t.deliver, t.step, t.other)
+	}
+	tw.Flush()
+}
+
+func wire(w io.Writer, d *transport.ObsDoc) {
+	if len(d.Wire) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== wire ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "endpoint\tshard\tsent_frames\trecv_frames\tsent_bytes\trecv_bytes\tflushes\tflush_ns")
+	for _, ws := range d.Wire {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			ws.Endpoint, ws.Shard, ws.SentFrames, ws.RecvFrames,
+			ws.SentBytes, ws.RecvBytes, ws.Flushes, ws.FlushNS)
+	}
+	tw.Flush()
+}
+
+func recorder(w io.Writer, name string, d *flightrec.Dump, tail int) {
+	fmt.Fprintf(w, "\n== flight recorder: %s ==\n", name)
+	fmt.Fprintf(w, "reason=%s", d.Reason)
+	if d.GuiltyShard >= 0 {
+		fmt.Fprintf(w, " guilty_shard=%d", d.GuiltyShard)
+	}
+	fmt.Fprintf(w, " last_round=%d", d.LastRound)
+	if d.Phase != "" {
+		fmt.Fprintf(w, " phase=%s", d.Phase)
+	}
+	fmt.Fprintf(w, " events=%d dropped=%d\n", len(d.Events), d.Dropped)
+	if d.Error != "" {
+		fmt.Fprintf(w, "error: %s\n", d.Error)
+	}
+	evs := d.Events
+	if len(evs) > tail {
+		fmt.Fprintf(w, "(last %d of %d)\n", tail, len(evs))
+		evs = evs[len(evs)-tail:]
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "seq\tt_ns\tkind\tframe\tround\tshard\tbytes\tnote")
+	for _, ev := range evs {
+		frame := ev.Frame
+		if frame == "" {
+			frame = "-"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%d\t%d\t%d\t%s\n",
+			ev.Seq, ev.TNS, ev.Kind, frame, ev.Round, ev.Shard, ev.Bytes, ev.Note)
+	}
+	tw.Flush()
+}
+
+// metricsJoin surfaces the transport slice of a -metrics snapshot:
+// every tcpnet_* counter plus quantile rows for the wall-time
+// histograms (the new HistogramSnap.Quantile estimator — exact to
+// within one bucket of the layout).
+func metricsJoin(w io.Writer, s *metrics.Snapshot) {
+	fmt.Fprintf(w, "\n== metrics join ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	n := 0
+	for _, c := range s.Counters {
+		if strings.HasPrefix(c.Name, "tcpnet_") {
+			fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+			n++
+		}
+	}
+	for _, g := range s.Gauges {
+		if strings.HasPrefix(g.Name, "tcpnet_") {
+			fmt.Fprintf(tw, "%s\t%g\n", g.Name, g.Value)
+			n++
+		}
+	}
+	tw.Flush()
+	if n == 0 {
+		fmt.Fprintln(w, "no tcpnet_* instruments in snapshot (proc run, or telemetry off)")
+	}
+	var hists []metrics.HistogramSnap
+	for _, h := range s.Histograms {
+		if strings.HasPrefix(h.Name, "tcpnet_") {
+			hists = append(hists, h)
+		}
+	}
+	if len(hists) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "histogram\tcount\tp50_le\tp99_le\tsum")
+	for _, h := range hists {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%d\n",
+			h.Name, h.Count, leString(h.Quantile(0.50)), leString(h.Quantile(0.99)), h.Sum)
+	}
+	tw.Flush()
+}
+
+func leString(le int64) string {
+	if le == metrics.OverflowLe {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", le)
+}
+
+// benchJoin lists the transport-relevant benchmark cases — anything
+// with a tcp backend in its name or a round-skew extra — plus the
+// steady-alloc gate entries, so one report answers both "was this run
+// slow" and "is the hot path still allocation-free".
+func benchJoin(w io.Writer, d *benchDoc) {
+	fmt.Fprintf(w, "\n== bench join ==\n")
+	if d.GitSHA != "" {
+		fmt.Fprintf(w, "bench document at git %s\n", d.GitSHA)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	n := 0
+	for _, c := range d.Cases {
+		_, hasSkew := c.Extra["round_skew_p99_ns"]
+		if !strings.Contains(c.Name, "tcp") && !hasSkew {
+			continue
+		}
+		n++
+		fmt.Fprintf(tw, "%s\t%.0f ns/op\t%d allocs/op", c.Name, c.NsPerOp, c.AllocsPerOp)
+		var keys []string
+		for k := range c.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(tw, "\t%s=%g", k, c.Extra[k])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	if n == 0 {
+		fmt.Fprintln(w, "no transport cases in bench document")
+	}
+	if len(d.SteadyAllocs) > 0 {
+		var keys []string
+		for k := range d.SteadyAllocs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "steady-alloc gate\tallocs/round")
+		for _, k := range keys {
+			fmt.Fprintf(tw, "%s\t%.3f\n", k, d.SteadyAllocs[k])
+		}
+		tw.Flush()
+	}
+}

@@ -5,6 +5,13 @@
 // connection. It is normally spawned by a coordinator binary
 // (-transport=tcp on cmd/walks or cmd/mst), not run by hand.
 //
+// The process keeps a flight recorder (internal/flightrec) of its
+// recent transport events. On a clean FINISH the ring ships back to the
+// coordinator inside the TELEMETRY frame; on a serve error, panic or
+// SIGTERM it is dumped as schema-valid JSON to the -flightrec path
+// (stderr when unset — which the coordinator pipes through), so a dead
+// shard leaves evidence on whichever side survives.
+//
 // Fault injection for the coordinator's failure tests is env-driven so
 // every shard gets identical argv: TCPNODE_FAIL_SHARD/TCPNODE_FAIL_ROUND
 // make that shard drop its connection at that round's STEP;
@@ -16,10 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"almostmix/internal/cliutil"
+	"almostmix/internal/flightrec"
 	"almostmix/internal/transport"
 	_ "almostmix/internal/transport/workloads"
 )
@@ -28,6 +38,7 @@ func main() {
 	connect := flag.String("connect", "", "coordinator address to dial (host:port, required)")
 	shard := flag.Int("shard", -1, "shard index assigned by the coordinator (required)")
 	dialBudget := flag.Duration("dialbudget", 10*time.Second, "total dial retry budget")
+	flightOut := flag.String("flightrec", "", "flight-recorder dump path on death/panic/SIGTERM (default: stderr)")
 	flag.Parse()
 	if *connect == "" {
 		cliutil.Fail("missing -connect (coordinator host:port)")
@@ -36,17 +47,50 @@ func main() {
 	cliutil.Min("shard", *shard, 0)
 	cliutil.Min("dialbudget", int(*dialBudget), 1)
 
+	rec := flightrec.New("shard", *shard, 0)
+
+	// SIGTERM (the coordinator's reap, or an operator kill) dumps the
+	// ring before the process dies with the default disposition.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		rec.Record(flightrec.KindSignal, "", -1, -1, 0, "SIGTERM")
+		dumpRing(*flightOut, rec, flightrec.ReasonSigterm, "terminated by SIGTERM")
+		signal.Stop(sigc)
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}()
+	defer func() {
+		if p := recover(); p != nil {
+			rec.Record(flightrec.KindPanic, "", -1, -1, 0, fmt.Sprint(p))
+			dumpRing(*flightOut, rec, flightrec.ReasonPanic, fmt.Sprint(p))
+			panic(p)
+		}
+	}()
+
 	cfg := transport.ShardConfig{
 		FailAtRound:  envRoundFor(*shard, "TCPNODE_FAIL_SHARD", "TCPNODE_FAIL_ROUND"),
 		StallAtRound: envRoundFor(*shard, "TCPNODE_STALL_SHARD", "TCPNODE_STALL_ROUND"),
+		Recorder:     rec,
 	}
 	conn, err := transport.DialShard(*connect, *dialBudget)
 	if err == nil {
 		err = transport.ServeShard(conn, *shard, cfg)
 	}
 	if err != nil {
+		dumpRing(*flightOut, rec, flightrec.ReasonError, err.Error())
 		fmt.Fprintln(os.Stderr, "tcpnode:", err)
 		os.Exit(1)
+	}
+}
+
+// dumpRing writes the recorder's attributed dump; dump failures are
+// reported but never mask the original failure.
+func dumpRing(path string, rec *flightrec.Recorder, reason, errMsg string) {
+	d := rec.Dump(reason)
+	d.Error = errMsg
+	if err := flightrec.WriteDump(path, d); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpnode:", err)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 
 	"almostmix/internal/faults"
 	"almostmix/internal/graph"
+	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
 )
 
@@ -143,6 +144,41 @@ func TestSteadyRoundsZeroAlloc(t *testing.T) {
 // decisively on any real regression, which costs at least one whole
 // allocation per round (usually per message, i.e. hundreds here).
 const growthFaultAllocBound = 0.75
+
+// TestSteadyRoundsZeroAllocWithTelemetry extends the zero gate to the
+// full telemetry stack: a metrics registry AND a counting probe
+// attached together must keep steady rounds allocation-free. The
+// metrics layer resolves every instrument once at run start
+// (metricsRunStart) so a steady round's cost is clock reads and
+// sharded atomic adds; the registry is shared across the differential
+// runs, so even first-resolution map growth cancels.
+func TestSteadyRoundsZeroAllocWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential alloc measurement is not -short")
+	}
+	g := graph.RingLattice(512, 4)
+	const rounds = 48
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := metrics.New()
+			per := MeasureSteadyAllocs(func() *Network {
+				net := NewUniformNetwork(g, func(int) Program { return NewTicker(1 << 30) }, rngutil.NewSource(7))
+				net.SetWorkers(workers)
+				net.SetProbe(&countingProbe{})
+				net.SetMetrics(reg)
+				return net
+			}, rounds)
+			if per >= steadyAllocNoiseFloor {
+				t.Fatalf("telemetry-on steady round allocates: %.3f allocs/round, want 0 (< %.1f)",
+					per, steadyAllocNoiseFloor)
+			}
+			if per != 0 {
+				t.Logf("residual %.3f allocs/round (runtime noise floor)", per)
+			}
+		})
+	}
+}
 
 // TestSteadyRoundsGrowthFaultsBounded pins the one documented exception:
 // duplication and delay fates regrow inbox and pending buffers, which

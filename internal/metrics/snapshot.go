@@ -131,6 +131,36 @@ func (s *Snapshot) Histogram(name string) *HistogramSnap {
 	return nil
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a snapshotted
+// histogram as the upper bound of the first bucket whose cumulative
+// count reaches q·Count — the standard fixed-bucket upper estimate, so
+// p99 of a PowersOf2 layout is exact to within one bucket. A histogram
+// with no observations (or a nil receiver) reports 0; a quantile that
+// lands in the overflow bucket reports OverflowLe.
+func (h *HistogramSnap) Quantile(q float64) int64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(h.Count)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= need {
+			return b.Le
+		}
+	}
+	return OverflowLe
+}
+
 // Tables renders the snapshot as harness tables (counters, gauges,
 // histogram buckets), the CSV building blocks of the non-JSON export.
 func (s *Snapshot) Tables() []*harness.Table {

@@ -11,6 +11,7 @@ package transport
 //	  (quiet check — same position as the in-process engines)
 //	  STEP→STEPPED        run programs, drain events and new sends
 //	FINISH→FINAL  harvest message counts and workload outputs
+//	←TELEMETRY    each shard ships its wire tallies + flight dump back
 //
 // The two barriers per round replicate the sequential engine's phase
 // ordering exactly — in particular the quiet check sits between deliver
@@ -19,10 +20,22 @@ package transport
 // RoundEnd rebuilt from the shards' inbox profiles) is byte-identical
 // to a sequential in-process run of the same spec.
 //
+// Observability: the coordinator keeps an always-on flight recorder
+// (internal/flightrec) plus per-shard last-completed-round/last-frame
+// attribution, and — when a probe, metrics registry or -obsout file is
+// attached — a per-round, per-shard barrier-phase timeline
+// (accept/deliver-write/deliver-wait/step-write/step-wait/harvest)
+// with a cross-shard skew series. Wall clocks NEVER enter the probe
+// stream (trace files stay byte-identical to proc, the span_wall_ns
+// discipline); they flow to the metrics registry, the TraceSink's
+// transport-timeline table, and the merged ObsDoc written to ObsOut on
+// every exit path including panic and SIGTERM.
+//
 // Failure policy: every read carries a deadline. A shard that dies
-// mid-round (or wedges) surfaces as a clean shard-attributed error
-// within one timeout, never a hang; remaining processes are killed on
-// the way out.
+// mid-round (or wedges) surfaces as a clean shard-attributed error —
+// naming the shard, its last completed round, the last frame it sent
+// and the barrier phase — within one timeout, never a hang; remaining
+// processes are killed on the way out.
 
 import (
 	"encoding/json"
@@ -31,10 +44,13 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"almostmix/internal/congest"
+	"almostmix/internal/flightrec"
 	"almostmix/internal/metrics"
 )
 
@@ -67,6 +83,20 @@ type TCP struct {
 	Timeout time.Duration
 	// Spawn overrides process spawning (tests); nil execs NodeBin.
 	Spawn SpawnFunc
+	// ObsOut, when set, is the path the merged observability document
+	// (ObsDoc: both sides' flight recorders, wire tallies, barrier
+	// timeline, round skew) is written to on every exit — clean finish,
+	// shard death, barrier deadline, panic, SIGTERM.
+	ObsOut string
+	// FlightRecCap sizes the flight-recorder rings on the coordinator
+	// and (via the wire spec) on every shard; 0 selects
+	// flightrec.DefaultCapacity.
+	FlightRecCap int
+	// FlightRecOut, when set, makes the default spawner hand each
+	// tcpnode process -flightrec <FlightRecOut>.shard<i>.json, so a
+	// shard that dies leaves its own dump on disk even when the
+	// TELEMETRY ship-back never happens.
+	FlightRecOut string
 }
 
 // Name implements Transport.
@@ -105,6 +135,57 @@ func (t TCP) Run(spec Spec, opts Options) (Result, error) {
 	return c.run()
 }
 
+// shardError attributes a barrier failure to one shard: which shard,
+// which barrier phase, the last round that shard completed and the
+// last frame type it successfully sent. It wraps the underlying error
+// (a net.Error deadline for stalls, a connection error for deaths) so
+// errors.As classification keeps working through it.
+type shardError struct {
+	shard     int
+	what      string // "read", "write", "flush"
+	phase     string
+	lastRound int
+	lastFrame string
+	err       error
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("transport: shard %d: %s: %v (phase %s, last completed round %d, last frame %s)",
+		e.shard, e.what, e.err, e.phase, e.lastRound, e.lastFrame)
+}
+
+func (e *shardError) Unwrap() error { return e.err }
+
+// classifyReason maps a run error to a flight-recorder dump reason: a
+// deadline means a stalled shard hit the barrier timeout, a shard-
+// attributed connection error means the shard died, anything else is a
+// generic error; nil is a clean finish.
+func classifyReason(err error) string {
+	if err == nil {
+		return flightrec.ReasonFinish
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return flightrec.ReasonBarrierDeadline
+	}
+	var se *shardError
+	if errors.As(err, &se) {
+		return flightrec.ReasonShardDeath
+	}
+	return flightrec.ReasonError
+}
+
+// obsInstruments are the coordinator's telemetry histograms; all nil
+// (no-op) without a metrics registry.
+type obsInstruments struct {
+	roundFrames *metrics.Histogram // frames per round, both directions
+	roundBytes  *metrics.Histogram // bytes per round, both directions
+	flushNS     *metrics.Histogram // per-flush write-out latency
+	skewNS      *metrics.Histogram // per-round cross-shard step skew
+	deliverWait *metrics.Histogram // per-shard deliver-barrier read wait
+	stepWait    *metrics.Histogram // per-shard step-barrier read wait
+}
+
 // coordinator is the per-run state of a TCP backend execution.
 type coordinator struct {
 	tcp  TCP
@@ -124,12 +205,32 @@ type coordinator struct {
 	pending    [][]wireSend
 	pendingBuf [][]byte
 
+	// Always-on attribution state: the flight recorder ring plus, per
+	// shard, the last round it completed (STEPPED received) and the
+	// last frame type it successfully delivered to us.
+	rec        *flightrec.Recorder
+	shardRound []int
+	lastType   []byte
+	phase      string
+	phaseRound int
+
+	// Timeline/skew accumulation and instruments, active when a probe
+	// sink, metrics registry or ObsOut is attached.
+	obsOn      bool
+	tsink      timelineSink
+	timeline   []congest.TimelineRow
+	skew       []RoundSkew
+	shardTel   []*wireTelemetry
+	prevFrames int64
+	prevBytes  int64
+	obs        obsInstruments
+
 	// Probe scratch, mirroring congest's probeState.
 	slots      *congest.SlotTable
 	inboxSizes []int
 	edgeLoad   []int64
 	touched    []int
-	rec        congest.RoundRecord
+	roundRec   congest.RoundRecord
 }
 
 func (c *coordinator) run() (res Result, err error) {
@@ -152,6 +253,7 @@ func (c *coordinator) run() (res Result, err error) {
 	}
 	c.pending = make([][]wireSend, k)
 	c.pendingBuf = make([][]byte, k)
+	c.obsInit(k)
 
 	defer func() {
 		for _, fc := range c.conns {
@@ -162,32 +264,61 @@ func (c *coordinator) run() (res Result, err error) {
 		c.reap(err != nil)
 	}()
 
-	spawn := c.tcp.Spawn
-	if spawn == nil {
-		spawn = c.execSpawner()
-	}
-	for i := 0; i < k; i++ {
-		h, err := spawn(i, ln.Addr().String())
-		if err != nil {
-			return Result{}, fmt.Errorf("transport: spawn shard %d: %w", i, err)
-		}
-		c.handles = append(c.handles, h)
-	}
-	if err := c.accept(ln); err != nil {
-		return Result{}, err
-	}
-	if err := c.sendSpec(); err != nil {
-		return Result{}, err
+	if c.tcp.ObsOut != "" {
+		// Crash-safe epilogue: a panic inside the protocol (or a SIGTERM
+		// from outside) still leaves an attribution document behind.
+		defer func() {
+			if p := recover(); p != nil {
+				c.rec.Record(flightrec.KindPanic, "", c.phaseRound, -1, 0, fmt.Sprint(p))
+				if werr := c.writeObs(flightrec.ReasonPanic, fmt.Errorf("panic: %v", p)); werr != nil {
+					fmt.Fprintln(os.Stderr, "transport:", werr)
+				}
+				panic(p)
+			}
+		}()
+		stop := c.watchSigterm()
+		defer stop()
 	}
 
-	res, err = c.drive()
+	res, err = func() (Result, error) {
+		spawn := c.tcp.Spawn
+		if spawn == nil {
+			spawn = c.execSpawner()
+		}
+		for i := 0; i < k; i++ {
+			h, err := spawn(i, ln.Addr().String())
+			if err != nil {
+				return Result{}, fmt.Errorf("transport: spawn shard %d: %w", i, err)
+			}
+			c.handles = append(c.handles, h)
+		}
+		if err := c.accept(ln); err != nil {
+			return Result{}, err
+		}
+		if err := c.sendSpec(); err != nil {
+			return Result{}, err
+		}
+		return c.drive()
+	}()
 
 	// Observability epilogue on every path, like the engines' finish().
 	if p := c.opts.Probe; p != nil {
 		p.RunEnd(c.rounds, err)
 	}
+	if c.tsink != nil {
+		c.tsink.AddTimeline(c.timeline)
+	}
 	if reg := c.opts.Metrics; reg != nil {
 		c.metricsEnd(reg, time.Since(t0))
+	}
+	if c.tcp.ObsOut != "" {
+		if werr := c.writeObs(classifyReason(err), err); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintln(os.Stderr, "transport:", werr)
+			}
+		}
 	}
 	if err != nil {
 		return Result{}, err
@@ -195,15 +326,84 @@ func (c *coordinator) run() (res Result, err error) {
 	return res, nil
 }
 
+// obsInit builds the per-run observability state: the always-on pieces
+// (flight recorder, per-shard attribution) plus — when any consumer is
+// attached — the timeline sink hookup and the tcpnet_* instruments.
+func (c *coordinator) obsInit(k int) {
+	c.rec = flightrec.New("coord", -1, c.tcp.FlightRecCap)
+	c.shardRound = make([]int, k)
+	c.lastType = make([]byte, k)
+	c.shardTel = make([]*wireTelemetry, k)
+	c.tsink, _ = c.opts.Probe.(timelineSink)
+	c.obsOn = c.tcp.ObsOut != "" || c.tsink != nil || c.opts.Metrics != nil
+	if reg := c.opts.Metrics; reg != nil {
+		c.obs = obsInstruments{
+			roundFrames: reg.Histogram("tcpnet_round_frames", metrics.PowersOf2(0, 20)),
+			roundBytes:  reg.Histogram("tcpnet_round_bytes", metrics.PowersOf2(4, 30)),
+			flushNS:     reg.Histogram("tcpnet_flush_ns", metrics.WallBuckets()),
+			skewNS:      reg.Histogram("tcpnet_round_skew_ns", metrics.WallBuckets()),
+			deliverWait: reg.Histogram("tcpnet_deliver_wait_ns", metrics.WallBuckets()),
+			stepWait:    reg.Histogram("tcpnet_step_wait_ns", metrics.WallBuckets()),
+		}
+	}
+}
+
+// phaseStart marks the coordinator's entry into one barrier phase for
+// round attribution; the transition lands in the flight recorder.
+func (c *coordinator) phaseStart(phase string, round int) {
+	c.phase, c.phaseRound = phase, round
+	c.rec.Record(flightrec.KindBarrier, "", round, -1, 0, phase)
+}
+
+// notePhase attributes ns of coordinator wall time in the current phase
+// to one shard: a timeline row, plus the matching wait histogram.
+func (c *coordinator) notePhase(shard int, ns int64) {
+	switch c.phase {
+	case "deliver-wait":
+		c.obs.deliverWait.Observe(ns)
+	case "step-wait":
+		c.obs.stepWait.Observe(ns)
+	}
+	if c.obsOn {
+		c.timeline = append(c.timeline, congest.TimelineRow{
+			Round: c.phaseRound, Shard: shard, Phase: c.phase, WallNS: ns,
+		})
+	}
+}
+
+// shardFail records a barrier failure against shard i and wraps it with
+// the attribution the tests (and the obs document) key on.
+func (c *coordinator) shardFail(i int, what string, err error) error {
+	kind := flightrec.KindError
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		kind = flightrec.KindTimeout
+	}
+	c.rec.Record(kind, frameName(c.lastType[i]), c.phaseRound, i, 0, err.Error())
+	return &shardError{
+		shard:     i,
+		what:      what,
+		phase:     c.phase,
+		lastRound: c.shardRound[i],
+		lastFrame: frameName(c.lastType[i]),
+		err:       err,
+	}
+}
+
 // execSpawner is the default SpawnFunc: exec the tcpnode binary with
 // the shard index and coordinator address, stderr passed through.
 func (c *coordinator) execSpawner() SpawnFunc {
 	bin := c.tcp.NodeBin
+	flightOut := c.tcp.FlightRecOut
 	return func(shard int, addr string) (ShardHandle, error) {
 		if bin == "" {
 			return ShardHandle{}, errors.New("transport: TCP.NodeBin not set (path to the tcpnode binary)")
 		}
-		cmd := exec.Command(bin, "-connect", addr, "-shard", strconv.Itoa(shard))
+		args := []string{"-connect", addr, "-shard", strconv.Itoa(shard)}
+		if flightOut != "" {
+			args = append(args, "-flightrec", fmt.Sprintf("%s.shard%d.json", flightOut, shard))
+		}
+		cmd := exec.Command(bin, args...)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			return ShardHandle{}, err
@@ -218,12 +418,14 @@ func (c *coordinator) execSpawner() SpawnFunc {
 // accept collects one HELLO-identified connection per shard, all under
 // the barrier deadline.
 func (c *coordinator) accept(ln net.Listener) error {
+	c.phaseStart("accept", -1)
 	deadline := time.Now().Add(c.tcp.timeout())
 	c.conns = make([]*frameConn, c.tcp.Shards)
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
 	for got := 0; got < c.tcp.Shards; got++ {
+		t0 := time.Now()
 		conn, err := ln.Accept()
 		if err != nil {
 			return fmt.Errorf("transport: accepting shard connections (%d/%d): %w", got, c.tcp.Shards, err)
@@ -245,46 +447,68 @@ func (c *coordinator) accept(ln net.Listener) error {
 			return fmt.Errorf("transport: bad or duplicate shard index %d in handshake", shard)
 		}
 		c.conns[shard] = fc
+		c.lastType[shard] = frameHello
+		c.rec.Record(flightrec.KindFrameRecv, "HELLO", -1, shard, len(body), "")
+		c.notePhase(shard, time.Since(t0).Nanoseconds())
 	}
 	return nil
 }
 
 func (c *coordinator) sendSpec() error {
-	body, err := json.Marshal(wireSpec{Version: wireVersion, Shards: c.tcp.Shards, Spec: c.spec})
+	body, err := json.Marshal(wireSpec{
+		Version:   wireVersion,
+		Shards:    c.tcp.Shards,
+		FlightRec: c.tcp.FlightRecCap,
+		Spec:      c.spec,
+	})
 	if err != nil {
 		return fmt.Errorf("transport: encode spec: %w", err)
 	}
+	c.phaseStart("spec", -1)
 	return c.broadcast(frameSpec, func(int) []byte { return body })
 }
 
 // broadcast writes one frame to every shard (payload built per shard)
-// and flushes, under a write deadline.
+// and flushes, under a write deadline. Per-shard write+flush wall time
+// lands in the current phase's timeline; each flush is observed into
+// the flush-latency histogram.
 func (c *coordinator) broadcast(typ byte, payload func(shard int) []byte) error {
 	deadline := time.Now().Add(c.tcp.timeout())
 	for i, fc := range c.conns {
+		t0 := time.Now()
 		fc.conn.SetWriteDeadline(deadline)
-		if err := fc.write(typ, payload(i)); err != nil {
-			return fmt.Errorf("transport: shard %d: write: %w", i, err)
+		body := payload(i)
+		if err := fc.write(typ, body); err != nil {
+			return c.shardFail(i, "write", err)
 		}
+		preFlush := fc.tally.flushNS
 		if err := fc.flush(); err != nil {
-			return fmt.Errorf("transport: shard %d: flush: %w", i, err)
+			return c.shardFail(i, "flush", err)
 		}
+		c.obs.flushNS.Observe(fc.tally.flushNS - preFlush)
+		c.rec.Record(flightrec.KindFrameSent, frameName(typ), c.phaseRound, i, len(body), "")
+		c.notePhase(i, time.Since(t0).Nanoseconds())
 	}
 	return nil
 }
 
 // expect reads one frame of the given type from shard i under the
-// barrier deadline.
+// barrier deadline, attributing the blocked wall time to the current
+// phase.
 func (c *coordinator) expect(i int, want byte, deadline time.Time) ([]byte, error) {
 	fc := c.conns[i]
 	fc.conn.SetReadDeadline(deadline)
+	t0 := time.Now()
 	typ, body, err := fc.read()
+	c.notePhase(i, time.Since(t0).Nanoseconds())
 	if err != nil {
-		return nil, fmt.Errorf("transport: shard %d: read: %w", i, err)
+		return nil, c.shardFail(i, "read", err)
 	}
 	if typ != want {
-		return nil, fmt.Errorf("transport: shard %d: frame type %d, want %d", i, typ, want)
+		return nil, c.shardFail(i, "read", fmt.Errorf("frame type %d, want %s", typ, frameName(want)))
 	}
+	c.lastType[i] = typ
+	c.rec.Record(flightrec.KindFrameRecv, frameName(typ), c.phaseRound, i, len(body), "")
 	return body, nil
 }
 
@@ -305,11 +529,13 @@ func (c *coordinator) drive() (Result, error) {
 	}
 
 	// Round 0: Init everywhere, drain its events and outbound sends.
+	c.phaseStart("init", 0)
 	if err := c.broadcast(frameInit, func(int) []byte { return nil }); err != nil {
 		return Result{}, err
 	}
 	var reply stepReply
 	var delivered deliveredReply
+	c.phaseStart("init-wait", 0)
 	deadline := time.Now().Add(c.tcp.timeout())
 	for i := range c.conns {
 		body, err := c.expect(i, frameInitAck, deadline)
@@ -330,9 +556,11 @@ func (c *coordinator) drive() (Result, error) {
 		}
 		// Deliver barrier: relay the pending cross-shard messages, get
 		// back each shard's delivery profile.
+		c.phaseStart("deliver-write", c.rounds+1)
 		if err := c.broadcast(frameDeliver, c.takeDeliverBody); err != nil {
 			return Result{}, err
 		}
+		c.phaseStart("deliver-wait", c.rounds+1)
 		deadline = time.Now().Add(c.tcp.timeout())
 		deliveredTotal := 0
 		for i := range c.conns {
@@ -352,10 +580,14 @@ func (c *coordinator) drive() (Result, error) {
 		c.rounds++
 		// Step barrier: everyone advances one round; events, halt
 		// counts and the next round's cross-shard sends come back.
+		c.phaseStart("step-write", c.rounds)
 		if err := c.broadcast(frameStep, func(int) []byte { return nil }); err != nil {
 			return Result{}, err
 		}
+		c.phaseStart("step-wait", c.rounds)
 		deadline = time.Now().Add(c.tcp.timeout())
+		barrier0 := time.Now()
+		var firstDone, lastDone int64
 		active := 0
 		c.halted = 0
 		for i := range c.conns {
@@ -363,13 +595,20 @@ func (c *coordinator) drive() (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
+			done := time.Since(barrier0).Nanoseconds()
+			if i == 0 {
+				firstDone = done
+			}
+			lastDone = done
 			if err := parseStepReply(body, &reply); err != nil {
 				return Result{}, fmt.Errorf("transport: shard %d: %w", i, err)
 			}
+			c.shardRound[i] = c.rounds
 			active += reply.active
 			c.absorbReply(i, &reply)
 		}
 		c.roundEnd(deliveredTotal, active)
+		c.roundObs(lastDone - firstDone)
 		if deliveredCounter != nil {
 			deliveredCounter.Add(int64(deliveredTotal))
 			roundsCounter.Add(1)
@@ -379,6 +618,25 @@ func (c *coordinator) drive() (Result, error) {
 		return c.harvest(nil)
 	}
 	return Result{}, fmt.Errorf("transport: after %d rounds: %w", c.rounds, congest.ErrRoundLimit)
+}
+
+// roundObs closes one round's telemetry: the cross-shard step skew and
+// the round's frame/byte volume deltas. Replies drain in shard order,
+// so the skew is the spread between the first and last reply read —
+// a lower bound on true skew, tight when the slow shard is last.
+func (c *coordinator) roundObs(skewNS int64) {
+	if c.obsOn {
+		c.skew = append(c.skew, RoundSkew{Round: c.rounds, SkewNS: skewNS})
+	}
+	c.obs.skewNS.Observe(skewNS)
+	var frames, bytes int64
+	for _, fc := range c.conns {
+		frames += fc.tally.frames()
+		bytes += fc.tally.bytes()
+	}
+	c.obs.roundFrames.Observe(frames - c.prevFrames)
+	c.obs.roundBytes.Observe(bytes - c.prevBytes)
+	c.prevFrames, c.prevBytes = frames, bytes
 }
 
 // absorbReply folds one INITACK/STEPPED into coordinator state: replay
@@ -457,7 +715,7 @@ func (c *coordinator) roundEnd(delivered, active int) {
 	if p == nil {
 		return
 	}
-	c.rec = congest.RoundRecord{
+	c.roundRec = congest.RoundRecord{
 		Round:        c.rounds,
 		Delivered:    delivered,
 		Active:       active,
@@ -467,29 +725,31 @@ func (c *coordinator) roundEnd(delivered, active int) {
 		EdgeLoad:     c.edgeLoad,
 	}
 	for u, size := range c.inboxSizes {
-		if size > c.rec.MaxInbox {
-			c.rec.MaxInbox = size
-			c.rec.MaxInboxNode = u
+		if size > c.roundRec.MaxInbox {
+			c.roundRec.MaxInbox = size
+			c.roundRec.MaxInboxNode = u
 		}
 	}
 	for _, slot := range c.touched {
-		if c.edgeLoad[slot] > c.rec.MaxEdgeLoad {
-			c.rec.MaxEdgeLoad = c.edgeLoad[slot]
+		if c.edgeLoad[slot] > c.roundRec.MaxEdgeLoad {
+			c.roundRec.MaxEdgeLoad = c.edgeLoad[slot]
 		}
 	}
-	p.RoundEnd(&c.rec)
+	p.RoundEnd(&c.roundRec)
 	for _, slot := range c.touched {
 		c.edgeLoad[slot] = 0
 	}
 	c.touched = c.touched[:0]
 }
 
-// harvest ends the run: FINISH to every shard, collect FINAL replies,
-// merge the workload outputs in shard order.
+// harvest ends the run: FINISH to every shard, collect FINAL replies
+// and each shard's TELEMETRY ship-back, merge the workload outputs in
+// shard order.
 func (c *coordinator) harvest(runErr error) (Result, error) {
 	if runErr != nil {
 		return Result{}, runErr
 	}
+	c.phaseStart("harvest", c.rounds)
 	if err := c.broadcast(frameFinish, func(int) []byte { return nil }); err != nil {
 		return Result{}, err
 	}
@@ -507,6 +767,16 @@ func (c *coordinator) harvest(runErr error) (Result, error) {
 		}
 		res.Messages += final.messages
 		parts = append(parts, append([]byte(nil), final.result...))
+
+		telBody, err := c.expect(i, frameTelemetry, deadline)
+		if err != nil {
+			return Result{}, err
+		}
+		wt := &wireTelemetry{}
+		if err := json.Unmarshal(telBody, wt); err != nil {
+			return Result{}, fmt.Errorf("transport: shard %d: decoding telemetry: %w", i, err)
+		}
+		c.shardTel[i] = wt
 	}
 	if c.inst.Finish != nil && c.inst.Merge != nil {
 		out, err := c.inst.Merge(c.inst.Graph, parts)
@@ -561,18 +831,143 @@ func (c *coordinator) metricsStart() (delivered, rounds *metrics.Counter) {
 	return reg.Counter("congest_messages_delivered_total"), reg.Counter("congest_rounds_total")
 }
 
+// metricsEnd exports the run's wire telemetry: aggregate and per-shard
+// frame/byte/flush counters for the coordinator's side of every
+// connection, per-frame-type directional counters, and — for shards
+// that shipped their TELEMETRY frame — the shard-side tallies under
+// tcpnet_shard_* (the counters that previously never left the shard
+// process).
 func (c *coordinator) metricsEnd(reg *metrics.Registry, elapsed time.Duration) {
 	reg.Counter("congest_runs_total").Add(1)
 	reg.Counter("congest_run_wall_ns_total").Add(elapsed.Nanoseconds())
 	reg.Counter("tcpnet_relayed_messages_total").Add(c.relayed)
-	var frames, bytes int64
-	for _, fc := range c.conns {
-		if fc != nil {
-			frames += fc.frames
-			bytes += fc.bytes
+	var frames, bytes, flushes, flushNS int64
+	var sentByType, recvByType [frameTypeCount]int64
+	for i, fc := range c.conns {
+		if fc == nil {
+			continue
 		}
+		t := &fc.tally
+		frames += t.frames()
+		bytes += t.bytes()
+		flushes += t.flushes
+		flushNS += t.flushNS
+		for typ := range t.sentByType {
+			sentByType[typ] += t.sentByType[typ]
+			recvByType[typ] += t.recvByType[typ]
+		}
+		reg.Counter(fmt.Sprintf("tcpnet_frames_total{shard=%d}", i)).Add(t.frames())
+		reg.Counter(fmt.Sprintf("tcpnet_bytes_total{shard=%d}", i)).Add(t.bytes())
 	}
 	reg.Counter("tcpnet_frames_total").Add(frames)
 	reg.Counter("tcpnet_bytes_total").Add(bytes)
+	reg.Counter("tcpnet_flushes_total").Add(flushes)
+	reg.Counter("tcpnet_flush_ns_total").Add(flushNS)
+	for typ := byte(1); typ < frameTypeCount; typ++ {
+		if n := sentByType[typ]; n > 0 {
+			reg.Counter(fmt.Sprintf("tcpnet_frames_sent_total{type=%s}", frameName(typ))).Add(n)
+		}
+		if n := recvByType[typ]; n > 0 {
+			reg.Counter(fmt.Sprintf("tcpnet_frames_recv_total{type=%s}", frameName(typ))).Add(n)
+		}
+	}
+	for i, wt := range c.shardTel {
+		if wt == nil {
+			continue
+		}
+		reg.Counter(fmt.Sprintf("tcpnet_shard_frames_total{shard=%d}", i)).Add(wt.SentFrames + wt.RecvFrames)
+		reg.Counter(fmt.Sprintf("tcpnet_shard_bytes_total{shard=%d}", i)).Add(wt.SentBytes + wt.RecvBytes)
+		reg.Counter(fmt.Sprintf("tcpnet_shard_flush_ns_total{shard=%d}", i)).Add(wt.FlushNS)
+	}
 	reg.Gauge("tcpnet_shards").Set(float64(c.tcp.Shards))
+}
+
+// writeObs writes the merged observability document to ObsOut.
+func (c *coordinator) writeObs(reason string, runErr error) error {
+	return WriteObs(c.tcp.ObsOut, c.obsDoc(reason, runErr))
+}
+
+// obsDoc assembles the merged document from the coordinator's state:
+// its own flight dump (attributed when the run failed), every shipped
+// shard dump, both sides' wire tallies, the barrier timeline and the
+// skew series.
+func (c *coordinator) obsDoc(reason string, runErr error) *ObsDoc {
+	doc := &ObsDoc{
+		Schema:     ObsSchema,
+		Backend:    "tcp",
+		Spec:       c.spec,
+		Shards:     c.tcp.Shards,
+		Rounds:     c.rounds,
+		Reason:     reason,
+		ShardDumps: make([]*flightrec.Dump, c.tcp.Shards),
+		Timeline:   c.timeline,
+		Skew:       c.skew,
+	}
+	guilty, lastRound, phase, errMsg := -1, c.rounds, "", ""
+	if runErr != nil {
+		errMsg = runErr.Error()
+		var se *shardError
+		if errors.As(runErr, &se) {
+			guilty, lastRound, phase = se.shard, se.lastRound, se.phase
+		}
+	}
+	doc.GuiltyShard, doc.LastRound, doc.Phase, doc.Error = guilty, lastRound, phase, errMsg
+	doc.Coordinator = c.rec.Dump(reason).Attribute(guilty, lastRound, phase, errMsg)
+	for i, wt := range c.shardTel {
+		if wt != nil {
+			d := wt.Dump
+			doc.ShardDumps[i] = &d
+		}
+	}
+	for i, fc := range c.conns {
+		if fc != nil {
+			doc.Wire = append(doc.Wire, wireStatsCoord(i, &fc.tally))
+		}
+	}
+	for _, wt := range c.shardTel {
+		if wt != nil {
+			doc.Wire = append(doc.Wire, wireStatsShard(wt))
+		}
+	}
+	return doc
+}
+
+// watchSigterm dumps the flight recorder on SIGTERM. The handler runs
+// concurrently with a possibly-blocked round loop, so it only touches
+// the mutex-protected recorder — never the timeline/wire state — then
+// restores the default disposition and re-delivers the signal so the
+// process still dies.
+func (c *coordinator) watchSigterm() (stop func()) {
+	sigc := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	signal.Notify(sigc, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-done:
+		case <-sigc:
+			c.rec.Record(flightrec.KindSignal, "", -1, -1, 0, "SIGTERM")
+			dump := c.rec.Dump(flightrec.ReasonSigterm)
+			doc := &ObsDoc{
+				Schema:      ObsSchema,
+				Backend:     "tcp",
+				Spec:        c.spec,
+				Shards:      c.tcp.Shards,
+				Reason:      flightrec.ReasonSigterm,
+				GuiltyShard: -1,
+				LastRound:   dump.LastRound,
+				Error:       "terminated by SIGTERM",
+				Coordinator: dump,
+				ShardDumps:  make([]*flightrec.Dump, c.tcp.Shards),
+			}
+			if err := WriteObs(c.tcp.ObsOut, doc); err != nil {
+				fmt.Fprintln(os.Stderr, "transport:", err)
+			}
+			signal.Stop(sigc)
+			syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(done)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
 
 // Frame types. The coordinator initiates every phase; shards only ever
@@ -34,11 +35,41 @@ const (
 	frameStepped                   // shard → coord: active, events, halted, external sends
 	frameFinish                    // coord → shard: run over, harvest
 	frameFinal                     // shard → coord: message count, Finish blob
+	frameTelemetry                 // shard → coord: JSON wireTelemetry (tallies + flight dump)
+
+	// frameTypeCount sizes per-type tally arrays indexed by frame type.
+	frameTypeCount
 )
 
+// frameNames maps frame types to the stable names used in telemetry
+// exports, flight-recorder events, and attributed errors.
+var frameNames = [frameTypeCount]string{
+	frameHello:     "HELLO",
+	frameSpec:      "SPEC",
+	frameInit:      "INIT",
+	frameInitAck:   "INITACK",
+	frameDeliver:   "DELIVER",
+	frameDelivered: "DELIVERED",
+	frameStep:      "STEP",
+	frameStepped:   "STEPPED",
+	frameFinish:    "FINISH",
+	frameFinal:     "FINAL",
+	frameTelemetry: "TELEMETRY",
+}
+
+// frameName names a frame type for telemetry and error attribution;
+// unknown types (and the zero "no frame yet" value) render as "none".
+func frameName(typ byte) string {
+	if int(typ) < len(frameNames) && frameNames[typ] != "" {
+		return frameNames[typ]
+	}
+	return "none"
+}
+
 // wireVersion guards against coordinator/shard skew; bumped with any
-// incompatible protocol or codec change.
-const wireVersion = 1
+// incompatible protocol or codec change. Version 2 added the mandatory
+// TELEMETRY frame after FINAL and the flightrec field of the wire spec.
+const wireVersion = 2
 
 // maxFramePayload bounds a frame's payload. Generous — the largest
 // legitimate frame is a DELIVER batch, linear in a shard's boundary
@@ -101,10 +132,32 @@ func eofIsUnexpected(err error) error {
 	return err
 }
 
+// connTally is the wire-telemetry counter block of one frameConn
+// endpoint: directional frame/byte totals, per-frame-type breakdowns,
+// and flush count/latency. It is plain int64s updated by the single
+// goroutine that owns the connection — cheap enough to stay on
+// unconditionally — and is snapshotted into tcpnet_* metrics and the
+// -obsout document at run end.
+type connTally struct {
+	sentFrames int64
+	recvFrames int64
+	sentBytes  int64
+	recvBytes  int64
+	sentByType [frameTypeCount]int64
+	recvByType [frameTypeCount]int64
+	flushes    int64
+	flushNS    int64
+}
+
+// frames and bytes aggregate both directions — the tallies the
+// pre-telemetry tcpnet_frames_total/tcpnet_bytes_total counters export.
+func (t *connTally) frames() int64 { return t.sentFrames + t.recvFrames }
+func (t *connTally) bytes() int64  { return t.sentBytes + t.recvBytes }
+
 // frameConn is one framed, buffered connection endpoint. Reads reuse a
 // single payload buffer (valid until the next read); writes accumulate
 // in the bufio writer until flush. It also tallies traffic for the
-// tcpnet_* metrics.
+// tcpnet_* metrics (per frame type and direction, plus flush latency).
 type frameConn struct {
 	conn net.Conn
 	r    *bufio.Reader
@@ -112,8 +165,7 @@ type frameConn struct {
 	rbuf []byte
 	wbuf []byte
 
-	frames int64
-	bytes  int64
+	tally connTally
 }
 
 func newFrameConn(c net.Conn) *frameConn {
@@ -130,8 +182,11 @@ func (c *frameConn) read() (byte, []byte, error) {
 	if cap(payload) > cap(c.rbuf) {
 		c.rbuf = payload[:cap(payload)]
 	}
-	c.frames++
-	c.bytes += int64(len(payload)) + 5
+	c.tally.recvFrames++
+	c.tally.recvBytes += int64(len(payload)) + 5
+	if int(typ) < len(c.tally.recvByType) {
+		c.tally.recvByType[typ]++
+	}
 	return typ, payload, nil
 }
 
@@ -142,10 +197,22 @@ func (c *frameConn) write(typ byte, payload []byte) error {
 		return err
 	}
 	c.wbuf = buf[:0]
-	c.frames++
-	c.bytes += int64(len(buf))
+	c.tally.sentFrames++
+	c.tally.sentBytes += int64(len(buf))
+	if int(typ) < len(c.tally.sentByType) {
+		c.tally.sentByType[typ]++
+	}
 	_, err = c.w.Write(buf)
 	return err
 }
 
-func (c *frameConn) flush() error { return c.w.Flush() }
+// flush sends the queued frames, timing the write-out for the
+// tcpnet_flush_ns telemetry (one flush per barrier per peer, so the two
+// clock reads sit far outside the per-message hot path).
+func (c *frameConn) flush() error {
+	t0 := time.Now()
+	err := c.w.Flush()
+	c.tally.flushes++
+	c.tally.flushNS += time.Since(t0).Nanoseconds()
+	return err
+}

@@ -1,0 +1,203 @@
+package transport
+
+// The TCP backend's merged observability document: one -obsout file per
+// run joining the coordinator's flight recorder, every shard's
+// shipped-back flight recorder and wire tallies (the TELEMETRY frame),
+// the coordinator's barrier-phase timeline, and the per-round
+// cross-shard skew — written on clean finish AND on every failure path
+// (shard death, barrier deadline, panic, SIGTERM), so a dead run
+// leaves a complete attribution trail instead of a bare error.
+//
+// The document is deliberately wall-clock-bearing: like the metrics
+// snapshot (and unlike -trace files) it is host-dependent and sits
+// outside the byte-identical differential contract. cmd/obsreport
+// joins it with a metrics snapshot and a BENCH_*.json into a
+// per-round report.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/flightrec"
+)
+
+// ObsSchema identifies the -obsout document layout. Bump on any
+// incompatible change so cmd/obsreport and the obs-suite smoke can
+// dispatch on it.
+const ObsSchema = "almostmix-obs/v1"
+
+// WireStats is one endpoint's wire tallies: the coordinator's side of
+// one shard connection (Endpoint "coord") or the shard's own side as
+// shipped back in its TELEMETRY frame (Endpoint "shard"). The two rows
+// for one shard index describe the same connection from both ends —
+// their frame counts mirror each other, their flush latencies do not.
+type WireStats struct {
+	Endpoint   string           `json:"endpoint"`
+	Shard      int              `json:"shard"`
+	SentFrames int64            `json:"sent_frames"`
+	RecvFrames int64            `json:"recv_frames"`
+	SentBytes  int64            `json:"sent_bytes"`
+	RecvBytes  int64            `json:"recv_bytes"`
+	SentByType map[string]int64 `json:"sent_by_type,omitempty"`
+	RecvByType map[string]int64 `json:"recv_by_type,omitempty"`
+	Flushes    int64            `json:"flushes"`
+	FlushNS    int64            `json:"flush_ns"`
+}
+
+// RoundSkew is one round's cross-shard step-barrier skew: the wall-time
+// spread between the first and last shard reply the coordinator
+// observed. Replies are drained in shard order, so a fast shard behind
+// a slow one reads as already-buffered (≈0 wait) — the spread is a
+// lower bound on true skew, tight when the slowest shard is the
+// bottleneck (the case worth attributing).
+type RoundSkew struct {
+	Round  int   `json:"round"`
+	SkewNS int64 `json:"skew_ns"`
+}
+
+// ObsDoc is the merged per-run observability document.
+type ObsDoc struct {
+	Schema      string                `json:"schema"`
+	Backend     string                `json:"backend"`
+	Spec        Spec                  `json:"spec"`
+	Shards      int                   `json:"shards"`
+	Rounds      int                   `json:"rounds"`
+	Reason      string                `json:"reason"`
+	GuiltyShard int                   `json:"guilty_shard"`
+	LastRound   int                   `json:"last_round"`
+	Phase       string                `json:"phase,omitempty"`
+	Error       string                `json:"error,omitempty"`
+	Coordinator flightrec.Dump        `json:"coordinator"`
+	ShardDumps  []*flightrec.Dump     `json:"shard_dumps"`
+	Wire        []WireStats           `json:"wire"`
+	Timeline    []congest.TimelineRow `json:"timeline"`
+	Skew        []RoundSkew           `json:"skew"`
+}
+
+// ValidateObs checks the document against its schema contract: the
+// stamp, a coordinator dump that itself validates, shard dump slots
+// matching the shard count, and every present shard dump valid. The
+// obs-suite smoke and cmd/obsreport both gate on it.
+func ValidateObs(d *ObsDoc) error {
+	if d == nil {
+		return fmt.Errorf("transport: nil obs document")
+	}
+	if d.Schema != ObsSchema {
+		return fmt.Errorf("transport: obs schema %q, want %q", d.Schema, ObsSchema)
+	}
+	if d.Backend != "tcp" {
+		return fmt.Errorf("transport: obs backend %q, want tcp", d.Backend)
+	}
+	if d.Shards < 1 {
+		return fmt.Errorf("transport: obs document with %d shards", d.Shards)
+	}
+	if len(d.ShardDumps) != d.Shards {
+		return fmt.Errorf("transport: obs document has %d shard dump slots for %d shards", len(d.ShardDumps), d.Shards)
+	}
+	if err := flightrec.Validate(&d.Coordinator); err != nil {
+		return fmt.Errorf("transport: obs coordinator dump: %w", err)
+	}
+	for i, sd := range d.ShardDumps {
+		if sd == nil {
+			continue // shard died before shipping telemetry
+		}
+		if err := flightrec.Validate(sd); err != nil {
+			return fmt.Errorf("transport: obs shard %d dump: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the document as one indented JSON document.
+func (d *ObsDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteObs writes the document to path, wrapped-error discipline like
+// every other exporter so cmd binaries can turn failures into exit 1.
+func WriteObs(path string, d *ObsDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("transport: obs: %w", err)
+	}
+	err = d.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("transport: obs: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadObs parses one -obsout document and validates it.
+func ReadObs(b []byte) (*ObsDoc, error) {
+	var d ObsDoc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("transport: decoding obs document: %w", err)
+	}
+	if err := ValidateObs(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// timelineSink is the optional capability a probe exposes to receive
+// the coordinator's barrier-phase timeline — *congest.TraceSink
+// implements it. Detected by interface assertion so Options stays a
+// plain congest.Probe.
+type timelineSink interface {
+	AddTimeline(rows []congest.TimelineRow)
+}
+
+// wireStatsCoord converts the coordinator's side of one connection.
+func wireStatsCoord(shard int, t *connTally) WireStats {
+	ws := WireStats{
+		Endpoint:   "coord",
+		Shard:      shard,
+		SentFrames: t.sentFrames,
+		RecvFrames: t.recvFrames,
+		SentBytes:  t.sentBytes,
+		RecvBytes:  t.recvBytes,
+		Flushes:    t.flushes,
+		FlushNS:    t.flushNS,
+	}
+	for typ, n := range t.sentByType {
+		if n > 0 {
+			if ws.SentByType == nil {
+				ws.SentByType = make(map[string]int64)
+			}
+			ws.SentByType[frameName(byte(typ))] = n
+		}
+	}
+	for typ, n := range t.recvByType {
+		if n > 0 {
+			if ws.RecvByType == nil {
+				ws.RecvByType = make(map[string]int64)
+			}
+			ws.RecvByType[frameName(byte(typ))] = n
+		}
+	}
+	return ws
+}
+
+// wireStatsShard converts a shard's shipped-back TELEMETRY tallies.
+func wireStatsShard(wt *wireTelemetry) WireStats {
+	return WireStats{
+		Endpoint:   "shard",
+		Shard:      wt.Shard,
+		SentFrames: wt.SentFrames,
+		RecvFrames: wt.RecvFrames,
+		SentBytes:  wt.SentBytes,
+		RecvBytes:  wt.RecvBytes,
+		SentByType: wt.SentByType,
+		RecvByType: wt.RecvByType,
+		Flushes:    wt.Flushes,
+		FlushNS:    wt.FlushNS,
+	}
+}

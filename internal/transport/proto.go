@@ -10,14 +10,70 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"almostmix/internal/flightrec"
 )
 
 // wireSpec is the JSON body of the SPEC frame: the replayable workload
-// spec plus the shard layout the run uses.
+// spec plus the shard layout the run uses. FlightRec is the flight-
+// recorder ring capacity every shard should run with (0 selects
+// flightrec.DefaultCapacity), so one coordinator flag sizes the rings
+// of the whole run.
 type wireSpec struct {
-	Version int  `json:"version"`
-	Shards  int  `json:"shards"`
-	Spec    Spec `json:"spec"`
+	Version   int  `json:"version"`
+	Shards    int  `json:"shards"`
+	FlightRec int  `json:"flightrec,omitempty"`
+	Spec      Spec `json:"spec"`
+}
+
+// wireTelemetry is the JSON body of the TELEMETRY frame every shard
+// sends after FINAL: its side of the wire tallies plus its flight-
+// recorder dump, so one -obsout file on the coordinator merges both
+// ends of every connection. SentByType/RecvByType are keyed by frame
+// name (stable across builds, unlike the numeric type bytes).
+type wireTelemetry struct {
+	Shard      int              `json:"shard"`
+	SentFrames int64            `json:"sent_frames"`
+	RecvFrames int64            `json:"recv_frames"`
+	SentBytes  int64            `json:"sent_bytes"`
+	RecvBytes  int64            `json:"recv_bytes"`
+	SentByType map[string]int64 `json:"sent_by_type,omitempty"`
+	RecvByType map[string]int64 `json:"recv_by_type,omitempty"`
+	Flushes    int64            `json:"flushes"`
+	FlushNS    int64            `json:"flush_ns"`
+	Dump       flightrec.Dump   `json:"flightrec"`
+}
+
+// telemetryFromTally builds the ship-back document from one endpoint's
+// tallies and flight dump.
+func telemetryFromTally(shard int, t *connTally, dump flightrec.Dump) wireTelemetry {
+	wt := wireTelemetry{
+		Shard:      shard,
+		SentFrames: t.sentFrames,
+		RecvFrames: t.recvFrames,
+		SentBytes:  t.sentBytes,
+		RecvBytes:  t.recvBytes,
+		Flushes:    t.flushes,
+		FlushNS:    t.flushNS,
+		Dump:       dump,
+	}
+	for typ, n := range t.sentByType {
+		if n > 0 {
+			if wt.SentByType == nil {
+				wt.SentByType = make(map[string]int64)
+			}
+			wt.SentByType[frameName(byte(typ))] = n
+		}
+	}
+	for typ, n := range t.recvByType {
+		if n > 0 {
+			if wt.RecvByType == nil {
+				wt.RecvByType = make(map[string]int64)
+			}
+			wt.RecvByType[frameName(byte(typ))] = n
+		}
+	}
+	return wt
 }
 
 // shardBounds is the contiguous node split shared by the coordinator

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"almostmix/internal/congest"
+	"almostmix/internal/flightrec"
 )
 
 // ShardConfig tunes a shard runtime beyond what the wire spec carries.
@@ -29,6 +30,11 @@ type ShardConfig struct {
 	// the connection) at that round's STEP, so the coordinator's read
 	// deadline — not a connection error — has to surface the failure.
 	StallAtRound int
+	// Recorder is the shard's flight recorder. cmd/tcpnode passes one it
+	// also dumps on panic/SIGTERM; when nil, ServeShard creates one
+	// sized by the wire spec's flightrec field, so every shard records
+	// either way and its dump ships back in the TELEMETRY frame.
+	Recorder *flightrec.Recorder
 }
 
 // DialShard connects to the coordinator, retrying with doubling backoff
@@ -103,7 +109,11 @@ func ServeShard(conn net.Conn, shard int, cfg ShardConfig) error {
 	if err != nil {
 		return err
 	}
-	r := &shardRuntime{fc: fc, shard: shard, s: s, wl: wl, inst: inst, cfg: cfg}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = flightrec.New("shard", shard, ws.FlightRec)
+	}
+	r := &shardRuntime{fc: fc, shard: shard, s: s, wl: wl, inst: inst, cfg: cfg, rec: rec}
 	return r.loop()
 }
 
@@ -117,6 +127,7 @@ type shardRuntime struct {
 	wl    Workload
 	inst  *Instance
 	cfg   ShardConfig
+	rec   *flightrec.Recorder
 
 	steps   int
 	reply   stepReply
@@ -134,8 +145,10 @@ func (r *shardRuntime) loop() error {
 				// Coordinator closed at a frame boundary: teardown.
 				return nil
 			}
+			r.rec.Record(flightrec.KindError, "", r.steps, -1, 0, err.Error())
 			return fmt.Errorf("transport: shard %d: read: %w", r.shard, err)
 		}
+		r.rec.Record(flightrec.KindFrameRecv, frameName(typ), r.steps, -1, len(body), "")
 		switch typ {
 		case frameInit:
 			r.s.Init()
@@ -145,6 +158,7 @@ func (r *shardRuntime) loop() error {
 		case frameStep:
 			r.steps++
 			if r.cfg.FailAtRound > 0 && r.steps >= r.cfg.FailAtRound {
+				r.rec.Record(flightrec.KindError, "STEP", r.steps, -1, 0, "induced shard death")
 				return errShardStopped
 			}
 			if r.cfg.StallAtRound > 0 && r.steps >= r.cfg.StallAtRound {
@@ -237,7 +251,12 @@ func (r *shardRuntime) deliver(body []byte) error {
 	return r.send(frameDelivered)
 }
 
-// finish answers FINISH with the owned message count and Finish blob.
+// finish answers FINISH with the owned message count and Finish blob,
+// then ships the shard's wire telemetry — its side of the frame/byte
+// tallies plus its flight-recorder dump — in a final TELEMETRY frame,
+// so the coordinator's registry and -obsout file cover both ends of
+// the connection. The tallies are snapshotted after FINAL is flushed
+// and therefore count every protocol frame except TELEMETRY itself.
 func (r *shardRuntime) finish() error {
 	lo, hi := r.s.Nodes()
 	f := finalReply{messages: r.s.Messages()}
@@ -245,7 +264,16 @@ func (r *shardRuntime) finish() error {
 		f.result = r.inst.Finish(lo, hi)
 	}
 	r.body = appendFinalReply(r.body[:0], &f)
-	return r.send(frameFinal)
+	if err := r.send(frameFinal); err != nil {
+		return err
+	}
+	wt := telemetryFromTally(r.shard, &r.fc.tally, r.rec.Dump(flightrec.ReasonFinish))
+	body, err := json.Marshal(wt)
+	if err != nil {
+		return fmt.Errorf("transport: shard %d: encoding telemetry: %w", r.shard, err)
+	}
+	r.body = append(r.body[:0], body...)
+	return r.send(frameTelemetry)
 }
 
 func (r *shardRuntime) send(typ byte) error {
@@ -255,5 +283,6 @@ func (r *shardRuntime) send(typ byte) error {
 	if err := r.fc.flush(); err != nil {
 		return fmt.Errorf("transport: shard %d: flush: %w", r.shard, err)
 	}
+	r.rec.Record(flightrec.KindFrameSent, frameName(typ), r.steps, -1, len(r.body), "")
 	return nil
 }

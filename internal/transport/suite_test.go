@@ -161,6 +161,15 @@ func TestShardDeathMidRound(t *testing.T) {
 	if !strings.Contains(err.Error(), "shard 1") {
 		t.Errorf("error does not attribute the dead shard: %v", err)
 	}
+	// Attribution detail: the shard died at round 3's STEP, so it last
+	// completed round 2 and the last frame it delivered was round 3's
+	// DELIVERED reply.
+	if !strings.Contains(err.Error(), "last completed round 2") {
+		t.Errorf("error does not name the shard's last completed round: %v", err)
+	}
+	if !strings.Contains(err.Error(), "last frame DELIVERED") {
+		t.Errorf("error does not name the shard's last frame: %v", err)
+	}
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Errorf("death took %v to surface, want well under the barrier timeout budget", elapsed)
 	}
@@ -186,6 +195,18 @@ func TestShardStallHitsDeadline(t *testing.T) {
 	var nerr net.Error
 	if !strings.Contains(err.Error(), "shard 0") {
 		t.Errorf("error does not attribute the stalled shard: %v", err)
+	}
+	// Attribution detail: the shard stalled at round 2's STEP after
+	// answering round 2's DELIVER, so it last completed round 1 and hung
+	// the coordinator in the step-wait barrier phase.
+	if !strings.Contains(err.Error(), "last completed round 1") {
+		t.Errorf("error does not name the shard's last completed round: %v", err)
+	}
+	if !strings.Contains(err.Error(), "last frame DELIVERED") {
+		t.Errorf("error does not name the shard's last frame: %v", err)
+	}
+	if !strings.Contains(err.Error(), "phase step-wait") {
+		t.Errorf("error does not name the barrier phase: %v", err)
 	}
 	if !errors.As(err, &nerr) || !nerr.Timeout() {
 		t.Errorf("stall surfaced as %v, want a deadline (timeout) error", err)

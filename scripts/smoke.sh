@@ -248,3 +248,76 @@ if ! cmp -s "$out/walks-proc-par.json" "$out/walks-tcp-par.json"; then
 	exit 1
 fi
 echo "smoke: E17 TCP/proc trace parity ok"
+
+# E19: distributed-run observability. A clean real-process tcp run with
+# -obsout must leave a schema-valid merged document (both sides' flight
+# recorders, wire stats, timeline, skew) and its metrics snapshot must
+# carry non-zero shard-side tcpnet_shard_* counters — the TELEMETRY
+# frame ship-back working end to end.
+"$bin/walks" -n 48 -d 6 -steps 10 -transport tcp -shards 2 \
+	-obsout "$out/walks-obs.json" -metrics "$out/walks-obs-metrics.json" >/dev/null
+if ! grep -q '"schema": "almostmix-obs/v1"' "$out/walks-obs.json"; then
+	echo "smoke: obs document lacks the schema stamp" >&2
+	exit 1
+fi
+if ! grep -q '"reason": "finish"' "$out/walks-obs.json"; then
+	echo "smoke: clean run's obs document does not say finish" >&2
+	exit 1
+fi
+if ! grep -q 'tcpnet_shard_frames_total{shard=0}' "$out/walks-obs-metrics.json"; then
+	echo "smoke: metrics snapshot lacks shard-side wire counters (TELEMETRY ship-back broken)" >&2
+	exit 1
+fi
+if grep -A 1 '"tcpnet_shard_frames_total{shard=0}"' "$out/walks-obs-metrics.json" | grep -q '"value": 0'; then
+	echo "smoke: shard-side wire counter is zero" >&2
+	exit 1
+fi
+echo "smoke: E19 obs document + shard telemetry ok"
+
+# E19 failure path: an induced stall (env fault injection on a real
+# tcpnode process, short barrier deadline) must exit 1 and leave a
+# barrier-deadline dump naming the guilty shard, its last completed
+# round and the phase it hung in.
+code=0
+TCPNODE_STALL_SHARD=1 TCPNODE_STALL_ROUND=3 \
+	"$bin/walks" -n 48 -d 6 -steps 10 -transport tcp -shards 2 -tcptimeout 2s \
+	-obsout "$out/walks-stall-obs.json" >/dev/null 2>&1 || code=$?
+if [ "$code" -ne 1 ]; then
+	echo "smoke: stalled tcp run exited $code, want 1" >&2
+	exit 1
+fi
+if ! grep -q '"reason": "barrier-deadline"' "$out/walks-stall-obs.json"; then
+	echo "smoke: stall dump reason is not barrier-deadline" >&2
+	exit 1
+fi
+if ! grep -q '"guilty_shard": 1' "$out/walks-stall-obs.json"; then
+	echo "smoke: stall dump does not blame shard 1" >&2
+	exit 1
+fi
+if ! grep -q '"phase": "step-wait"' "$out/walks-stall-obs.json"; then
+	echo "smoke: stall dump does not name the step-wait phase" >&2
+	exit 1
+fi
+echo "smoke: E19 induced stall attribution ok"
+
+# E19 report join: cmd/obsreport must merge the obs document, the
+# metrics snapshot and the benchsuite artifact into one report with the
+# per-round attribution table, and name the guilty shard for the stall.
+"$bin/obsreport" -obs "$out/walks-obs.json" -metrics "$out/walks-obs-metrics.json" \
+	-bench "$out/bench-smoke.json" -out "$out/obsreport.txt"
+if ! grep -q 'per-round attribution' "$out/obsreport.txt"; then
+	echo "smoke: obsreport lacks the per-round attribution section" >&2
+	exit 1
+fi
+if ! grep -q 'tcpnet_round_skew_ns' "$out/obsreport.txt"; then
+	echo "smoke: obsreport metrics join lacks the skew histogram" >&2
+	exit 1
+fi
+"$bin/obsreport" -obs "$out/walks-stall-obs.json" -out "$out/obsreport-stall.txt"
+if ! grep -q 'guilty_shard=1' "$out/obsreport-stall.txt"; then
+	echo "smoke: obsreport does not surface the guilty shard for the stall" >&2
+	exit 1
+fi
+expect_reject "obsreport without -obs" "$bin/obsreport"
+expect_export_fail "obsreport bad -obs file" "$bin/obsreport" -obs /no/such/obs.json
+echo "smoke: E19 obsreport join ok"

@@ -13,7 +13,7 @@ BENCHTIME ?= 1s
 # engine-scale point (BENCHSUITE_FLAGS="-gate" make bench-json).
 BENCHSUITE_FLAGS ?= -quick -gate
 
-.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults tcp-suite decomp-suite obs-suite
+.PHONY: build vet test race check bench bench-json bench-scale fuzz smoke faults tcp-suite fault-tcp-suite decomp-suite obs-suite
 
 build:
 	go build ./...
@@ -48,6 +48,16 @@ smoke:
 # from hanging CI.
 tcp-suite:
 	go test -race -timeout 300s ./internal/transport/... ./internal/congest -run 'TestDifferentialSuite|TestProcMatchesDirectEngine|TestRealProcess|TestShardDeath|TestShardStall|TestDialShard|TestTCPValidates|TestFrame|TestNewShard|TestShardInject|TestConfigure'
+
+# The faults-over-the-wire suite, race-instrumented and never shortened:
+# the fate-table codec, the golden fault traces (reused from
+# internal/congest/testdata/golden) byte-identical over proc and tcp at
+# shards 1/2/4, per-shard fault counts summing to the in-process totals,
+# and the walk re-issue / windowed-GHS recovery stories end-to-end over
+# real processes including a killed-and-recovering shard.
+fault-tcp-suite:
+	go test -race -timeout 300s ./internal/transport -run 'TestGoldenFaultParityOverTCP|TestCrossShardFaultCountsSumToProc|TestWalksFaultsMatchesInProcessDriver|TestGHSFaultsMatchesInProcessDriver|TestWholeShardCrashRecoversOverTCP|TestGHSRecoveryAfterShardCrashOverTCP|TestPlainWorkloadsRejectFaultSpec|TestFateTable|TestParseFateTable'
+	go test -race ./internal/faults
 
 # The observability suite, race-instrumented and never shortened: the
 # -obsout document on every exit path (an induced StallAtRound must

@@ -28,6 +28,7 @@ import (
 	"almostmix/internal/congest"
 	"almostmix/internal/decomp"
 	"almostmix/internal/embed"
+	"almostmix/internal/faults"
 	"almostmix/internal/graph"
 	"almostmix/internal/metrics"
 	"almostmix/internal/mst"
@@ -608,6 +609,39 @@ func buildCases(quick bool) ([]*benchCase, error) {
 		},
 		observe: func(reg *metrics.Registry) error {
 			_, err := newTCP().Run(tspec, transport.Options{Metrics: reg})
+			return err
+		},
+	})
+
+	// Faulty transport-tcp case: the same wire protocol with a fault plan
+	// riding it — FATES windows shipped per round, deliverFaulty on every
+	// shard replica, per-shard counts harvested back in TELEMETRY. The
+	// merged fault counters land in the BENCH json as extra metrics, so
+	// the trajectory records the fate-table handshake's cost next to the
+	// fault-free wire baseline. Counts are deterministic in (spec, seed).
+	fspec := tspec
+	fspec.Workload = "walks-faults"
+	fspec.FaultSpec = "drop=0.05,dup=0.05,delay=0.1:2"
+	fspec.FaultSeed = 7
+	cases = append(cases, &benchCase{
+		name: "transport-tcp-faults/shards=2",
+		bench: func(b *testing.B) {
+			b.ReportAllocs()
+			var fc faults.Counts
+			tcp := newTCP()
+			for i := 0; i < b.N; i++ {
+				res, err := tcp.Run(fspec, transport.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fc = res.Faults
+			}
+			b.ReportMetric(float64(fc.Dropped), "faults-dropped")
+			b.ReportMetric(float64(fc.Delayed), "faults-delayed")
+			b.ReportMetric(float64(fc.Duplicated), "faults-duplicated")
+		},
+		observe: func(reg *metrics.Registry) error {
+			_, err := newTCP().Run(fspec, transport.Options{Metrics: reg})
 			return err
 		},
 	})

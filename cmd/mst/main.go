@@ -55,12 +55,7 @@ func main() {
 	cliutil.Min("shards", *shards, 1)
 	cliutil.Listen("listen", *listen)
 	cliutil.Min("flightrec", *flightRec, 0)
-	if *transportName == "tcp" && *faultSpec != "" {
-		cliutil.Fail("-faults needs -transport=proc: shard replicas cannot observe global fault state (see DESIGN.md)")
-	}
-	if *transportName != "tcp" && *obsOut != "" {
-		cliutil.Fail("-obsout needs -transport=tcp: the observability document describes a distributed run")
-	}
+	cliutil.ObsOut("obsout", *obsOut, *transportName)
 	cliutil.Writable("trace", *trace)
 	cliutil.Writable("metrics", *metricsOut)
 	cliutil.Writable("pprofout", *pprofOut)
@@ -217,7 +212,7 @@ func run(audit, ghsnet, quick bool, seed uint64, workers int, trace, faultSpec s
 		fmt.Println("-transport change wall-clock only (see DESIGN.md §3).")
 
 		if faultSpec != "" {
-			if err := runE15MST(instances[0].g, seed, workers, faultSpec, faultSeed, attempts, sink, sess); err != nil {
+			if err := runE15MST(instances[0].g, instances[0].spec, seed, faultSpec, faultSeed, attempts, tr, sink, sess); err != nil {
 				return err
 			}
 		}
@@ -319,9 +314,13 @@ func runE18MST(quick bool, phi float64, seed uint64, trace string, sess *metrics
 // (smallest) expander instance: a drop-probability sweep plus the user's
 // custom spec, each run with in-protocol window retries and up to
 // `attempts` whole-computation restarts. Success means the exact MST was
-// recovered; rounds and attempts grow with the fault rate.
-func runE15MST(g *graph.Graph, seed uint64, workers int,
-	faultSpec string, faultSeed uint64, attempts int, sink *congest.TraceSink, sess *metrics.Session) error {
+// recovered; rounds and attempts grow with the fault rate. The sweep
+// runs on the selected transport — over tcp each restart executes as
+// real shard processes fed per-round fate windows, with identical
+// results (E20).
+func runE15MST(g *graph.Graph, spec transport.Spec, seed uint64,
+	faultSpec string, faultSeed uint64, attempts int, tr transport.Transport,
+	sink *congest.TraceSink, sess *metrics.Session) error {
 	specs := []string{"", "drop=0.005", "drop=0.01", "drop=0.02"}
 	custom := true
 	for _, s := range specs {
@@ -337,8 +336,8 @@ func runE15MST(g *graph.Graph, seed uint64, workers int,
 		fmt.Sprintf("E15 — GHS degradation under faults (n=%d, attempts<=%d, faultseed=%d)",
 			g.N(), attempts, faultSeed),
 		"spec", "attempts", "rounds", "dropped", "delayed", "crash rounds", "recovered", "weight agrees")
-	for _, spec := range specs {
-		label := spec
+	for _, fs := range specs {
+		label := fs
 		if label == "" {
 			label = "(none)"
 		}
@@ -346,9 +345,12 @@ func runE15MST(g *graph.Graph, seed uint64, workers int,
 		if sink != nil {
 			probe = sink.Label("E15 " + label)
 		}
+		fspec := spec
+		fspec.SrcSeed = seed + 40
+		fspec.FaultSpec = fs
+		fspec.FaultSeed = faultSeed
 		stop := sess.Time("e15_ghs_" + label)
-		res, err := mstbase.GHSNetworkFaults(g, rngutil.NewSource(seed+40), workers,
-			spec, faultSeed, attempts, probe, sess.Registry())
+		res, err := workloads.RunGHSFaults(tr, fspec, transport.Options{Probe: probe, Metrics: sess.Registry()}, attempts)
 		stop()
 		if err != nil {
 			return err

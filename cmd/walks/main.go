@@ -56,12 +56,7 @@ func main() {
 	cliutil.Min("shards", *shards, 1)
 	cliutil.Listen("listen", *listen)
 	cliutil.Min("flightrec", *flightRec, 0)
-	if *transportName == "tcp" && *faultSpec != "" {
-		cliutil.Fail("-faults needs -transport=proc: shard replicas cannot observe global fault state (see DESIGN.md)")
-	}
-	if *transportName != "tcp" && *obsOut != "" {
-		cliutil.Fail("-obsout needs -transport=tcp: the observability document describes a distributed run")
-	}
+	cliutil.ObsOut("obsout", *obsOut, *transportName)
 	cliutil.Writable("trace", *trace)
 	cliutil.Writable("metrics", *metricsOut)
 	cliutil.Writable("pprofout", *pprofOut)
@@ -155,7 +150,7 @@ func run(n, d, steps int, seed uint64, workers int, trace, faultSpec string, fau
 	fmt.Println("value; the flags change wall-clock time only (see DESIGN.md §3).")
 
 	if faultSpec != "" {
-		if err := runE15(g, steps, seed, workers, faultSpec, faultSeed, attempts, sink, sess); err != nil {
+		if err := runE15(g, n, d, steps, seed, faultSpec, faultSeed, attempts, tr, sink, sess); err != nil {
 			return err
 		}
 	}
@@ -174,9 +169,12 @@ func run(n, d, steps int, seed uint64, workers int, trace, faultSpec string, fau
 // drop-probability sweep plus the user's custom spec, each executed with
 // the token re-issue retry loop. Rounds and attempts grow with the drop
 // rate while the recovery machinery keeps every token landing until loss
-// overwhelms the attempt budget.
-func runE15(g *graph.Graph, steps int, seed uint64, workers int,
-	faultSpec string, faultSeed uint64, attempts int, sink *congest.TraceSink, sess *metrics.Session) error {
+// overwhelms the attempt budget. The sweep runs on the selected
+// transport — over tcp each attempt executes as real shard processes
+// fed per-round fate windows, with identical results (E20).
+func runE15(g *graph.Graph, n, d, steps int, seed uint64,
+	faultSpec string, faultSeed uint64, attempts int, tr transport.Transport,
+	sink *congest.TraceSink, sess *metrics.Session) error {
 	specs := []string{"", "drop=0.01", "drop=0.02", "drop=0.05", "drop=0.1"}
 	custom := true
 	for _, s := range specs {
@@ -206,8 +204,17 @@ func runE15(g *graph.Graph, steps int, seed uint64, workers int,
 			probe = sink.Label("E15 " + label)
 		}
 		stop := sess.Time("e15_" + label)
-		res, err := randomwalk.RunNetworkFaults(g, counts, steps,
-			rngutil.NewSource(seed+200), workers, spec, faultSeed, attempts, probe, sess.Registry())
+		res, err := workloads.RunWalksFaults(tr, transport.Spec{
+			Graph:     "rr",
+			N:         n,
+			D:         d,
+			K:         1,
+			Steps:     steps,
+			Seed:      seed,
+			SrcSeed:   seed + 200,
+			FaultSpec: spec,
+			FaultSeed: faultSeed,
+		}, transport.Options{Probe: probe, Metrics: sess.Registry()}, attempts)
 		stop()
 		if err != nil {
 			return err

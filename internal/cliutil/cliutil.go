@@ -71,6 +71,16 @@ func Phi(name string, v float64) {
 	}
 }
 
+// ObsOut rejects an observability-document export on backends that do
+// not produce one: the merged document describes a distributed run, so
+// a non-empty path needs -transport=tcp. Both experiment binaries share
+// this rule; hoisting it keeps one message and one exit-2 path.
+func ObsOut(name, path, transport string) {
+	if path != "" && transport != "tcp" {
+		Fail("-%s needs -transport=tcp: the observability document describes a distributed run", name)
+	}
+}
+
 // FaultSpec rejects a fault-injection spec that does not parse, quoting
 // the parser's complaint.
 func FaultSpec(name, spec string) {

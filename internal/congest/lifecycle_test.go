@@ -3,8 +3,9 @@ package congest
 // Lifecycle regression tests for the configuration seam: every Set*
 // option applied after a Network has started must fail loudly (the
 // silent alternative is a spent network that looks half-configured),
-// and the Shard harness must enforce the same single-use and no-faults
-// contracts the engines do.
+// and the Shard harness must enforce the same single-use contract the
+// engines do — including SetFaults after NewShard, which would
+// otherwise silently diverge the replica from its coordinator.
 
 import (
 	"errors"
@@ -83,7 +84,7 @@ func TestNewShardConsumesSingleUse(t *testing.T) {
 	mustPanic(t, "SetProbe", func() { net.SetProbe(NopProbe{}) })
 }
 
-func TestNewShardRejectsBadRangeAndFaults(t *testing.T) {
+func TestNewShardRejectsBadRange(t *testing.T) {
 	if _, err := NewShard(tickerNetwork(t), -1, 4); err == nil {
 		t.Error("negative lo accepted")
 	}
@@ -93,12 +94,28 @@ func TestNewShardRejectsBadRangeAndFaults(t *testing.T) {
 	if _, err := NewShard(tickerNetwork(t), 5, 4); err == nil {
 		t.Error("inverted range accepted")
 	}
+}
+
+// TestShardAcceptsFaultPlanOnceOnly pins the lifted restriction and its
+// replacement contract: a fault plan attached BEFORE NewShard is
+// accepted (the wire backend's fate handshake depends on it), while
+// SetFaults after NewShard — a replica that would silently diverge from
+// its coordinator — panics through the same mustConfigure seam as every
+// other post-Run Set* call.
+func TestShardAcceptsFaultPlanOnceOnly(t *testing.T) {
 	plan, err := faults.Parse("drop=0.1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewShard(tickerNetwork(t).SetFaults(plan), 0, 4); err == nil || !strings.Contains(err.Error(), "fault") {
-		t.Errorf("fault plan: err = %v, want a faults rejection", err)
+	net := tickerNetwork(t).SetFaults(plan)
+	s, err := NewShard(net, 0, 4)
+	if err != nil {
+		t.Fatalf("NewShard with fault plan: %v", err)
+	}
+	s.Init()
+	mustPanic(t, "SetFaults", func() { net.SetFaults(plan) })
+	if got := s.FaultCounts(); got.Any() {
+		t.Errorf("fault counts before any round: %+v, want zero", got)
 	}
 }
 

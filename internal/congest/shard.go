@@ -27,14 +27,22 @@ package congest
 //	ExternalSends(...)           — enumerate owned sends that leave the shard
 //	DrainEvents(...)             — marks/halts of owned nodes, ID order
 //
-// Fault plans are rejected: fault fates hash over global delivery
-// state that a shard replica cannot observe for non-owned senders, so
-// a faulty wire run would silently diverge from the in-process
-// engines. The TCP backend refuses -faults loudly instead.
+// Fault plans ride the same canonical path: attach the plan with
+// SetFaults BEFORE NewShard (the single-use contract makes SetFaults
+// panic afterwards) and deliverFaulty runs unchanged at deliverTo on
+// every replica. The shard replica replays crash and sever schedules
+// from the spec's rules, while probabilistic per-message fates come
+// from the coordinator's fate-table handshake (faults.AttachTable,
+// shipped in round windows by internal/transport) so every replica
+// agrees on the authoritative rolls. Per-round fault counts are
+// drained by the coordinator through FaultCounts — Crashed restricted
+// to the owned range so shard counts sum to the global totals — and
+// crashed owned nodes skip Step exactly like the in-process step loop.
 
 import (
-	"errors"
 	"fmt"
+
+	"almostmix/internal/faults"
 )
 
 // shardBoundary is one directed cross-shard port pair: an owned node's
@@ -59,16 +67,14 @@ type Shard struct {
 
 // NewShard consumes net and returns the shard harness for nodes
 // [lo, hi). The network must be freshly built: NewShard claims its
-// single use (a second NewShard or Run returns ErrNetworkReused) and
-// rejects attached fault plans. Probes attached to the replica are
-// ignored — observability is drained by the coordinator through
-// DrainEvents instead, so event collection is always on.
+// single use (a second NewShard or Run returns ErrNetworkReused), so
+// every Set* option — including SetFaults — must be applied before it
+// and panics afterwards. Probes attached to the replica are ignored —
+// observability is drained by the coordinator through DrainEvents
+// instead, so event collection is always on.
 func NewShard(net *Network, lo, hi int) (*Shard, error) {
 	if lo < 0 || hi > net.topo.n || lo > hi {
 		return nil, fmt.Errorf("congest: shard range [%d, %d) outside nodes [0, %d)", lo, hi, net.topo.n)
-	}
-	if net.faultPlan != nil {
-		return nil, errors.New("congest: shard execution does not support fault plans (run faults on the in-process engines)")
 	}
 	// Event collection (marks, halt rounds) is gated on an attached
 	// probe; the shard always collects so the coordinator can rebuild
@@ -77,6 +83,9 @@ func NewShard(net *Network, lo, hi int) (*Shard, error) {
 	if err := net.begin(); err != nil {
 		return nil, err
 	}
+	// The deliver/step phases run on the coordinator's single driving
+	// goroutine, so the fault scratch needs one count slot.
+	net.faultsRunStart(1)
 	s := &Shard{net: net, lo: lo, hi: hi}
 	t := net.topo
 	for u := lo; u < hi; u++ {
@@ -162,15 +171,16 @@ func (s *Shard) Deliver() int {
 func (s *Shard) Inbox(u int) []Inbound { return s.net.inboxes[u] }
 
 // Step advances the replica's round counter and runs Step for every
-// owned non-halted node, mirroring the in-process step phase (outboxes
-// cleared for all owned nodes, halted ones skipped). It returns the
-// number of nodes that executed Step.
+// owned non-halted, non-crashed node, mirroring the in-process step
+// phase (outboxes cleared for all owned nodes, halted and crashed ones
+// skipped and excluded from the active count). It returns the number of
+// nodes that executed Step.
 func (s *Shard) Step() (active int) {
 	s.net.rounds++
 	for v := s.lo; v < s.hi; v++ {
 		ctx := &s.net.ctxs[v]
 		ctx.clearOutbox()
-		if ctx.halted {
+		if ctx.halted || s.net.nodeCrashed(v) {
 			continue
 		}
 		active++
@@ -233,3 +243,39 @@ func (s *Shard) Messages() int {
 
 // Rounds returns the replica's round counter.
 func (s *Shard) Rounds() int { return s.net.rounds }
+
+// FaultCounts drains the fault events counted since the previous call
+// (in practice: the round just stepped) and adds the crash node-rounds
+// of OWNED crashed nodes, so summing every shard's counts for a round
+// reproduces the in-process faultsRoundEnd value exactly once per
+// event. Like faultsRoundEnd it also folds the result into the replica
+// plan's totals. Zero value with no plan attached.
+func (s *Shard) FaultCounts() faults.Counts {
+	n := s.net
+	if n.fs == nil {
+		return faults.Counts{}
+	}
+	var c faults.Counts
+	for w := 0; w < len(n.fs.counts); w += faultCountStride {
+		c.Add(n.fs.counts[w])
+		n.fs.counts[w] = faults.Counts{}
+	}
+	c.Crashed = int64(n.fs.plan.CrashedCountIn(n.rounds, s.lo, s.hi))
+	n.fs.plan.AddCounts(c)
+	return c
+}
+
+// PendingDelayed returns the number of delayed messages still buffered
+// for owned receivers — the coordinator folds this into the global
+// quiet check, since a round with no deliveries is not quiet while a
+// delayed message is in flight somewhere.
+func (s *Shard) PendingDelayed() int {
+	if s.net.fs == nil {
+		return 0
+	}
+	total := 0
+	for u := s.lo; u < s.hi; u++ {
+		total += len(s.net.fs.pending[u])
+	}
+	return total
+}

@@ -56,12 +56,21 @@ func (t *ticker) Step(ctx *Ctx, inbox []Inbound) {
 // pairs converges to the true steady cost — which keeps a strict == 0
 // regression gate assertable (alloc_test.go, cmd/benchsuite -gate).
 func MeasureSteadyAllocs(build func() *Network, rounds int) float64 {
+	return MeasureSteadyAllocsFunc(func(r int) {
+		if _, err := build().Run(r); err != nil && !errors.Is(err, ErrRoundLimit) {
+			panic(err)
+		}
+	}, rounds)
+}
+
+// MeasureSteadyAllocsFunc is MeasureSteadyAllocs for an arbitrary run
+// function: run(r) must execute r rounds of the configuration under
+// measurement, with identical setup on every call. It exists for round
+// loops the Network does not drive itself — the shard harness under an
+// external coordinator (alloc_test.go) and the transport benchsuite.
+func MeasureSteadyAllocsFunc(run func(rounds int), rounds int) float64 {
 	measure := func(r int) float64 {
-		return allocsPerRun(3, func() {
-			if _, err := build().Run(r); err != nil && !errors.Is(err, ErrRoundLimit) {
-				panic(err)
-			}
-		})
+		return allocsPerRun(3, func() { run(r) })
 	}
 	const trials = 3
 	best := 0.0

@@ -1,0 +1,248 @@
+package faults
+
+// The fate table is the wire form of a plan's probabilistic decisions:
+// a pre-rolled window of per-(round, slot) message fates. The TCP
+// transport cannot let each shard roll fates lazily — deliverFaulty
+// consults delivery state (sender outboxes) a replica only holds for its
+// own senders — so the coordinator, which owns the authoritative plan,
+// enumerates the pure (seed, round, slot) hashes for a round window
+// once, slices the result per shard by receiving endpoint, and ships
+// each shard its slice. A plan with an attached table answers
+// MessageFate from the table instead of hashing, so the canonical
+// delivery path in internal/congest runs unchanged on every replica and
+// stays byte-identical to the in-process engines.
+//
+// Tables are windows, not whole runs: walk workloads carry round
+// budgets in the tens of thousands, and a full-horizon table would both
+// blow the frame-size cap and hash fates for rounds that never execute.
+// Lookup outside the attached window is a protocol violation and panics
+// rather than silently delivering.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FateTable holds every non-Deliver message fate for rounds in
+// [start, end), sorted by (round, slot). Deliver is implicit: a (round,
+// slot) pair absent from the table delivers untouched, which keeps the
+// table proportional to the fault rate rather than the message rate.
+type FateTable struct {
+	start, end int
+	// offs[r-start] .. offs[r-start+1] index the entry arrays for round r.
+	offs   []int32
+	slots  []int32
+	fates  []uint8
+	delays []int32
+}
+
+// BuildFateTable rolls the plan's probabilistic fates for every round in
+// [start, end) and every directed-edge slot in [0, slots), recording the
+// non-Deliver outcomes. It always uses the raw (seed, round, slot)
+// hashes, never an attached table, so building from a coordinator plan
+// is safe at any time. A plan with no probabilistic rules yields an
+// empty (all-Deliver) table.
+func BuildFateTable(p *Plan, start, end, slots int) *FateTable {
+	if start < 1 || end < start {
+		panic(fmt.Sprintf("faults: fate table window [%d,%d) invalid", start, end))
+	}
+	t := &FateTable{start: start, end: end, offs: make([]int32, 1, end-start+1)}
+	if !p.Probabilistic() {
+		for r := start; r < end; r++ {
+			t.offs = append(t.offs, 0)
+		}
+		return t
+	}
+	for r := start; r < end; r++ {
+		for s := 0; s < slots; s++ {
+			fate, delay := p.rawFate(r, s)
+			if fate == Deliver {
+				continue
+			}
+			t.slots = append(t.slots, int32(s))
+			t.fates = append(t.fates, uint8(fate))
+			t.delays = append(t.delays, int32(delay))
+		}
+		t.offs = append(t.offs, int32(len(t.slots)))
+	}
+	return t
+}
+
+// Rounds returns the half-open round window [start, end) the table
+// covers.
+func (t *FateTable) Rounds() (start, end int) { return t.start, t.end }
+
+// Entries returns the number of non-Deliver fates recorded.
+func (t *FateTable) Entries() int { return len(t.slots) }
+
+// Filter returns a copy of the table keeping only the entries whose slot
+// satisfies keep — the coordinator uses it to slice a window down to the
+// slots whose receiving endpoint a shard owns.
+func (t *FateTable) Filter(keep func(slot int) bool) *FateTable {
+	f := &FateTable{start: t.start, end: t.end, offs: make([]int32, 1, len(t.offs))}
+	for r := t.start; r < t.end; r++ {
+		lo, hi := t.offs[r-t.start], t.offs[r-t.start+1]
+		for i := lo; i < hi; i++ {
+			if !keep(int(t.slots[i])) {
+				continue
+			}
+			f.slots = append(f.slots, t.slots[i])
+			f.fates = append(f.fates, t.fates[i])
+			f.delays = append(f.delays, t.delays[i])
+		}
+		f.offs = append(f.offs, int32(len(f.slots)))
+	}
+	return f
+}
+
+// Lookup returns the fate rolled for (round, slot), Deliver for pairs
+// not in the table. A round outside the attached window means the
+// coordinator and shard disagree about shipped fate coverage — a
+// protocol bug, never a recoverable condition — so it panics.
+func (t *FateTable) Lookup(round, slot int) (Fate, int) {
+	if round < t.start || round >= t.end {
+		panic(fmt.Sprintf("faults: fate lookup for round %d outside shipped window [%d,%d)",
+			round, t.start, t.end))
+	}
+	lo, hi := int(t.offs[round-t.start]), int(t.offs[round-t.start+1])
+	span := t.slots[lo:hi]
+	i := sort.Search(len(span), func(i int) bool { return span[i] >= int32(slot) })
+	if i == len(span) || span[i] != int32(slot) {
+		return Deliver, 0
+	}
+	return Fate(t.fates[lo+i]), int(t.delays[lo+i])
+}
+
+// AppendFateTable appends the table's wire encoding to dst: uvarint
+// start and window length, then per round a uvarint entry count followed
+// by (slot-delta uvarint, fate byte, delay uvarint for Delay) triples
+// with strictly increasing slots. The format is strict enough that
+// ParseFateTable round-trips byte-exactly.
+func AppendFateTable(dst []byte, t *FateTable) []byte {
+	dst = binary.AppendUvarint(dst, uint64(t.start))
+	dst = binary.AppendUvarint(dst, uint64(t.end-t.start))
+	for r := t.start; r < t.end; r++ {
+		lo, hi := t.offs[r-t.start], t.offs[r-t.start+1]
+		dst = binary.AppendUvarint(dst, uint64(hi-lo))
+		prev := int32(-1)
+		for i := lo; i < hi; i++ {
+			dst = binary.AppendUvarint(dst, uint64(t.slots[i]-prev))
+			dst = append(dst, t.fates[i])
+			if Fate(t.fates[i]) == Delay {
+				dst = binary.AppendUvarint(dst, uint64(t.delays[i]))
+			}
+			prev = t.slots[i]
+		}
+	}
+	return dst
+}
+
+// ParseFateTable decodes an AppendFateTable payload, validating every
+// structural invariant a hostile peer could violate: the window is
+// well-formed and bounded by the payload size, entry counts fit the
+// remaining bytes, slots are strictly increasing within a round, fates
+// are the three non-Deliver codes, delays are present exactly for Delay
+// and at least 1, and no bytes trail the last round.
+func ParseFateTable(b []byte) (*FateTable, error) {
+	c := fateCursor{b: b}
+	start := c.uvarint("start")
+	span := c.uvarint("window length")
+	if c.err != nil {
+		return nil, c.err
+	}
+	if start < 1 || start > math.MaxInt32 {
+		return nil, fmt.Errorf("faults: fate table start round %d invalid", start)
+	}
+	// Every round costs at least one byte (its entry count), so a window
+	// longer than the payload cannot be honest — reject before sizing the
+	// offset array from attacker-controlled input.
+	if span > uint64(len(b)) {
+		return nil, fmt.Errorf("faults: fate table window length %d exceeds payload", span)
+	}
+	t := &FateTable{start: int(start), end: int(start + span), offs: make([]int32, 1, span+1)}
+	for r := 0; r < int(span); r++ {
+		count := c.uvarint("entry count")
+		if c.err != nil {
+			return nil, c.err
+		}
+		// Each entry costs at least two bytes (slot delta + fate).
+		if count > uint64(len(b))/2 {
+			return nil, fmt.Errorf("faults: fate table round %d entry count %d exceeds payload", t.start+r, count)
+		}
+		prev := int64(-1)
+		for i := uint64(0); i < count; i++ {
+			delta := c.uvarint("slot delta")
+			fate := c.byte("fate")
+			if c.err != nil {
+				return nil, c.err
+			}
+			if delta == 0 {
+				return nil, fmt.Errorf("faults: fate table round %d: non-increasing slot", t.start+r)
+			}
+			slot := prev + int64(delta)
+			if slot > math.MaxInt32 {
+				return nil, fmt.Errorf("faults: fate table round %d: slot overflow", t.start+r)
+			}
+			delay := uint64(0)
+			switch Fate(fate) {
+			case Drop, Duplicate:
+			case Delay:
+				delay = c.uvarint("delay")
+				if c.err != nil {
+					return nil, c.err
+				}
+				if delay < 1 || delay > math.MaxInt32 {
+					return nil, fmt.Errorf("faults: fate table round %d: delay %d invalid", t.start+r, delay)
+				}
+			default:
+				return nil, fmt.Errorf("faults: fate table round %d: unknown fate %d", t.start+r, fate)
+			}
+			t.slots = append(t.slots, int32(slot))
+			t.fates = append(t.fates, fate)
+			t.delays = append(t.delays, int32(delay))
+			prev = slot
+		}
+		t.offs = append(t.offs, int32(len(t.slots)))
+	}
+	if c.n != len(b) {
+		return nil, fmt.Errorf("faults: fate table: %d trailing bytes", len(b)-c.n)
+	}
+	return t, nil
+}
+
+// fateCursor is a minimal sticky-error byte reader for ParseFateTable
+// (the transport package has its own; faults cannot import it without a
+// cycle).
+type fateCursor struct {
+	b   []byte
+	n   int
+	err error
+}
+
+func (c *fateCursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.n:])
+	if n <= 0 {
+		c.err = fmt.Errorf("faults: fate table: truncated %s", what)
+		return 0
+	}
+	c.n += n
+	return v
+}
+
+func (c *fateCursor) byte(what string) uint8 {
+	if c.err != nil {
+		return 0
+	}
+	if c.n >= len(c.b) {
+		c.err = fmt.Errorf("faults: fate table: truncated %s", what)
+		return 0
+	}
+	v := c.b[c.n]
+	c.n++
+	return v
+}

@@ -1,0 +1,145 @@
+package faults_test
+
+// Fate-table unit suite: the table must be a lossless, wire-stable
+// projection of the plan's raw hashes — same fates as a table-free plan
+// over the window, byte-exact codec round-trips, receiver filtering
+// that only ever removes entries, and loud failure outside the shipped
+// window. The transport-level handshake tests build on these
+// invariants; the hostile-input side is FuzzParseFateTable (in
+// internal/transport, next to FuzzReadFrame).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"almostmix/internal/faults"
+)
+
+const (
+	tableSpec  = "drop=0.15,dup=0.1,delay=0.15:2,crash=3@4+5,sever=2@6"
+	tableSlots = 48
+)
+
+func tablePlan(t *testing.T, seed uint64) *faults.Plan {
+	t.Helper()
+	p, err := faults.Parse(tableSpec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFateTableMatchesRawRolls(t *testing.T) {
+	raw := tablePlan(t, 99)
+	tabled := tablePlan(t, 99)
+	tabled.AttachTable(faults.BuildFateTable(tabled, 1, 25, tableSlots))
+	for r := 1; r < 25; r++ {
+		for s := 0; s < tableSlots; s++ {
+			wf, wd := raw.MessageFate(r, s)
+			gf, gd := tabled.MessageFate(r, s)
+			if gf != wf || gd != wd {
+				t.Fatalf("round %d slot %d: table (%v,%d) != raw (%v,%d)", r, s, gf, gd, wf, wd)
+			}
+		}
+	}
+}
+
+func TestFateTableCodecRoundTrip(t *testing.T) {
+	p := tablePlan(t, 7)
+	orig := faults.BuildFateTable(p, 3, 40, tableSlots)
+	enc := faults.AppendFateTable(nil, orig)
+	dec, err := faults.ParseFateTable(enc)
+	if err != nil {
+		t.Fatalf("parse own encoding: %v", err)
+	}
+	if s, e := dec.Rounds(); s != 3 || e != 40 {
+		t.Fatalf("decoded window [%d,%d), want [3,40)", s, e)
+	}
+	if dec.Entries() != orig.Entries() {
+		t.Fatalf("decoded %d entries, want %d", dec.Entries(), orig.Entries())
+	}
+	for r := 3; r < 40; r++ {
+		for s := 0; s < tableSlots; s++ {
+			wf, wd := orig.Lookup(r, s)
+			gf, gd := dec.Lookup(r, s)
+			if gf != wf || gd != wd {
+				t.Fatalf("round %d slot %d: decoded (%v,%d) != original (%v,%d)", r, s, gf, gd, wf, wd)
+			}
+		}
+	}
+	if re := faults.AppendFateTable(nil, dec); !bytes.Equal(re, enc) {
+		t.Fatal("re-encoding the decoded table is not byte-identical")
+	}
+}
+
+func TestFateTableFilter(t *testing.T) {
+	p := tablePlan(t, 11)
+	full := faults.BuildFateTable(p, 1, 30, tableSlots)
+	odd := full.Filter(func(slot int) bool { return slot%2 == 1 })
+	even := full.Filter(func(slot int) bool { return slot%2 == 0 })
+	if odd.Entries()+even.Entries() != full.Entries() {
+		t.Fatalf("filter partition lost entries: %d + %d != %d", odd.Entries(), even.Entries(), full.Entries())
+	}
+	for r := 1; r < 30; r++ {
+		for s := 0; s < tableSlots; s++ {
+			keep := odd
+			if s%2 == 0 {
+				keep = even
+			}
+			wf, wd := full.Lookup(r, s)
+			if gf, gd := keep.Lookup(r, s); gf != wf || gd != wd {
+				t.Fatalf("round %d slot %d: filtered (%v,%d) != full (%v,%d)", r, s, gf, gd, wf, wd)
+			}
+			drop := even
+			if s%2 == 0 {
+				drop = odd
+			}
+			if gf, gd := drop.Lookup(r, s); gf != faults.Deliver || gd != 0 {
+				t.Fatalf("round %d slot %d: filtered-out lookup (%v,%d), want Deliver", r, s, gf, gd)
+			}
+		}
+	}
+}
+
+func TestFateTableLookupOutsideWindowPanics(t *testing.T) {
+	p := tablePlan(t, 5)
+	tab := faults.BuildFateTable(p, 5, 10, tableSlots)
+	for _, round := range []int{4, 10} {
+		func() {
+			defer func() {
+				r := recover()
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "outside shipped window") {
+					t.Fatalf("Lookup(round=%d): recover = %v, want out-of-window panic", round, r)
+				}
+			}()
+			tab.Lookup(round, 0)
+		}()
+	}
+}
+
+func TestParseFateTableRejectsMalformed(t *testing.T) {
+	p := tablePlan(t, 9)
+	good := faults.AppendFateTable(nil, faults.BuildFateTable(p, 1, 12, tableSlots))
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"truncated", good[:len(good)-1]},
+		{"trailing", append(append([]byte{}, good...), 0)},
+		{"zero start round", []byte{0, 1, 0}},
+		{"window exceeds payload", []byte{1, 200}},
+		{"zero slot delta", []byte{1, 1, 1, 0, 1}},
+		{"unknown fate", []byte{1, 1, 1, 1, 9}},
+		{"zero delay", []byte{1, 1, 1, 1, 3, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tab, err := faults.ParseFateTable(tc.b); err == nil {
+				t.Fatalf("accepted (%d entries)", tab.Entries())
+			}
+		})
+	}
+}

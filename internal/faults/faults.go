@@ -96,6 +96,12 @@ type Plan struct {
 	crashes []Crash
 	severs  []Sever
 
+	// table, when attached, answers MessageFate for its round window in
+	// place of the raw hashes — the TCP transport's fate-table handshake
+	// (see fatetable.go). Crash and sever rules are rule lookups with no
+	// delivery-state dependence and are never tabled.
+	table *FateTable
+
 	// totals is written only by the engine coordinator between round
 	// barriers (AddCounts) and read after the run (Totals).
 	totals Counts
@@ -116,6 +122,22 @@ func (p *Plan) Empty() bool {
 	return p.drop == 0 && p.dup == 0 && p.delayP == 0 &&
 		len(p.crashes) == 0 && len(p.severs) == 0
 }
+
+// Probabilistic reports whether the plan rolls any per-message fate
+// (drop, duplication or delay). Crash and sever rules are deterministic
+// schedules that replay from the spec alone, so only probabilistic plans
+// need a fate table shipped to replicas.
+func (p *Plan) Probabilistic() bool {
+	return p.drop+p.dup+p.delayP > 0
+}
+
+// AttachTable installs (or, with nil, detaches) a pre-rolled fate table;
+// subsequent MessageFate calls inside the table's window answer from it.
+// Attaching replaces any previous window — callers ship consecutive
+// windows as a run progresses. Like the Set* options on a network, this
+// is a between-rounds configuration call, never concurrent with
+// delivery.
+func (p *Plan) AttachTable(t *FateTable) { p.table = t }
 
 // WithDrop sets the per-message drop probability.
 func (p *Plan) WithDrop(prob float64) *Plan {
@@ -187,6 +209,15 @@ func (p *Plan) MessageFate(round, slot int) (Fate, int) {
 	if p.drop == 0 && p.dup == 0 && p.delayP == 0 {
 		return Deliver, 0
 	}
+	if p.table != nil {
+		return p.table.Lookup(round, slot)
+	}
+	return p.rawFate(round, slot)
+}
+
+// rawFate is the hash path shared by MessageFate and BuildFateTable: it
+// always rolls, never consults an attached table.
+func (p *Plan) rawFate(round, slot int) (Fate, int) {
 	u := p.src.Derive("msg", uint64(round)<<33^uint64(slot))
 	roll := float64(u>>11) / (1 << 53)
 	switch {
@@ -229,6 +260,20 @@ func (p *Plan) CrashedCount(round int) int {
 	n := 0
 	for _, c := range p.crashes {
 		if round >= c.Round && (c.Recover == 0 || round < c.Round+c.Recover) {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashedCountIn returns the number of nodes in [lo, hi) crashed in the
+// given round — the sharded engines count crash node-rounds over their
+// owned range so per-shard counts sum exactly to CrashedCount.
+func (p *Plan) CrashedCountIn(round, lo, hi int) int {
+	n := 0
+	for _, c := range p.crashes {
+		if c.Node >= lo && c.Node < hi &&
+			round >= c.Round && (c.Recover == 0 || round < c.Round+c.Recover) {
 			n++
 		}
 	}

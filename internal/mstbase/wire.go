@@ -29,6 +29,26 @@ func GHSPrograms(g *graph.Graph) (programs []congest.Program, maxRounds int) {
 	return programs, run.window*(2*log2int(g.N())+4) + 2
 }
 
+// GHSFaultPrograms returns the per-node GHS programs of one faulty-run
+// attempt, exactly as GHSNetworkFaults builds them: faulty enables the
+// defensive machinery (window stamping, per-port dedup, poisoning, label
+// repair) and should mirror !plan.Empty(). The returned budget is the
+// attempt's base round budget — on faulty runs callers add the plan's
+// MaxDelay and RecoverySlack, exactly like GHSNetworkFaults. Collect
+// chosen edges afterwards with GHSChosenEdges.
+func GHSFaultPrograms(g *graph.Graph, faulty bool) (programs []congest.Program, baseBudget int) {
+	run := &ghsRun{window: 3*g.N() + 6, faulty: faulty}
+	programs = make([]congest.Program, g.N())
+	for v := range programs {
+		programs[v] = &ghsNode{run: run}
+	}
+	iterBudget := 2*log2int(g.N()) + 4
+	if faulty {
+		return programs, run.window * (iterBudget + 6)
+	}
+	return programs, run.window*iterBudget + 2
+}
+
 // GHSChosenEdges returns the MST edge IDs chosen by nodes [lo, hi) of a
 // GHSPrograms run, in node order with per-node emission order kept and
 // no cross-node dedup — the same raw stream GHSNetworkObserved
@@ -49,6 +69,7 @@ const (
 	ghsWireDecision
 	ghsWireMergeReq
 	ghsWireAdopt
+	ghsWireWin // window-stamped wrapper, faulty runs only: varint window + recursive body
 )
 
 func appendGHSCandidate(buf []byte, c ghsCandidate) []byte {
@@ -78,10 +99,18 @@ func parseGHSCandidate(b []byte) (ghsCandidate, []byte, error) {
 }
 
 // EncodeGHSPayload appends the canonical encoding of a GHS message
-// payload (fault-free variant only: window-stamped faulty payloads are
-// rejected, matching the shard harness's no-faults contract).
+// payload. Faulty runs wrap every payload in ghsWin; the wrapper ships
+// as its own tag with the body encoded recursively, so one codec covers
+// both variants.
 func EncodeGHSPayload(buf []byte, m congest.Message) ([]byte, error) {
 	switch msg := m.(type) {
+	case ghsWin:
+		buf = binary.AppendVarint(append(buf, ghsWireWin), int64(msg.Win))
+		inner, err := EncodeGHSPayload(buf, msg.Body)
+		if err != nil {
+			return nil, fmt.Errorf("mstbase: window-stamped body: %w", err)
+		}
+		return inner, nil
 	case ghsFragID:
 		return binary.AppendVarint(append(buf, ghsWireFragID), int64(msg.Frag)), nil
 	case ghsReport:
@@ -104,6 +133,19 @@ func DecodeGHSPayload(b []byte) (congest.Message, error) {
 	}
 	tag, body := b[0], b[1:]
 	switch tag {
+	case ghsWireWin:
+		win, n := binary.Varint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("mstbase: malformed GHS window stamp")
+		}
+		inner, err := DecodeGHSPayload(body[n:])
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(ghsWin); nested {
+			return nil, fmt.Errorf("mstbase: nested GHS window stamp")
+		}
+		return ghsWin{Win: int32(win), Body: inner}, nil
 	case ghsWireFragID, ghsWireAdopt:
 		frag, n := binary.Varint(body)
 		if n <= 0 || n != len(body) {

@@ -61,8 +61,10 @@ type walkNode struct {
 	absorbed [][]tokenID
 }
 
-// tokenID identifies one issued walk token across retry attempts.
-type tokenID struct{ Origin, Seq int32 }
+// tokenID identifies one issued walk token across retry attempts. The
+// exported name (wire.go) lets the transport-level retry driver carry
+// identities across process boundaries.
+type tokenID = WalkTokenID
 
 func (p *walkNode) Init(ctx *congest.Ctx) {
 	p.queues = make([][]walkToken, ctx.Degree())

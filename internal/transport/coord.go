@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"almostmix/internal/congest"
+	"almostmix/internal/faults"
 	"almostmix/internal/flightrec"
 	"almostmix/internal/metrics"
 )
@@ -127,10 +128,12 @@ func (t TCP) Run(spec Spec, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("transport: %d shards for %d nodes (need 1 ≤ shards ≤ n)", t.Shards, n)
 	}
 	c := &coordinator{
-		tcp:  t,
-		spec: spec,
-		inst: inst,
-		opts: opts,
+		tcp:      t,
+		spec:     spec,
+		inst:     inst,
+		opts:     opts,
+		plan:     inst.Faults,
+		fatesEnd: 1,
 	}
 	return c.run()
 }
@@ -200,6 +203,17 @@ type coordinator struct {
 	rounds  int
 	halted  int
 	relayed int64
+
+	// Fault-over-wire state: the coordinator's authoritative plan (the
+	// instance's, identical to every replica's) and the exclusive end of
+	// the fate-table window shipped so far. The coordinator never
+	// delivers locally — its plan only builds FATES windows and
+	// accumulates the per-round counts the STEPPED replies return.
+	plan     *faults.Plan
+	fatesEnd int
+	// Fault counters, registered by metricsStart when a plan and a
+	// registry are both attached; nil otherwise.
+	fcDropped, fcDuplicated, fcDelayed, fcCrashed *metrics.Counter
 	// pending[i] holds the cross-shard messages to relay to shard i in
 	// the next DELIVER, payload bytes owned by pendingBuf.
 	pending    [][]wireSend
@@ -320,10 +334,10 @@ func (c *coordinator) run() (res Result, err error) {
 			}
 		}
 	}
-	if err != nil {
-		return Result{}, err
-	}
-	return res, nil
+	// res is the zero Result on every error path except a harvested
+	// round-limit exit, which carries the partial result alongside the
+	// wrapped congest.ErrRoundLimit.
+	return res, err
 }
 
 // obsInit builds the per-run observability state: the always-on pieces
@@ -554,6 +568,12 @@ func (c *coordinator) drive() (Result, error) {
 		if c.halted == n {
 			return c.harvest(nil)
 		}
+		// Ship the next fate-table window before the first DELIVER that
+		// needs it: every replica must hold the fates of the round it is
+		// about to build inboxes for.
+		if err := c.shipFates(); err != nil {
+			return Result{}, err
+		}
 		// Deliver barrier: relay the pending cross-shard messages, get
 		// back each shard's delivery profile.
 		c.phaseStart("deliver-write", c.rounds+1)
@@ -562,7 +582,7 @@ func (c *coordinator) drive() (Result, error) {
 		}
 		c.phaseStart("deliver-wait", c.rounds+1)
 		deadline = time.Now().Add(c.tcp.timeout())
-		deliveredTotal := 0
+		deliveredTotal, pendingTotal := 0, 0
 		for i := range c.conns {
 			body, err := c.expect(i, frameDelivered, deadline)
 			if err != nil {
@@ -572,14 +592,16 @@ func (c *coordinator) drive() (Result, error) {
 				return Result{}, fmt.Errorf("transport: shard %d: %w", i, err)
 			}
 			deliveredTotal += delivered.delivered
+			pendingTotal += delivered.pending
 			c.absorbProfile(i, &delivered)
 		}
-		if c.inst.Quiet && r > 0 && deliveredTotal == 0 {
+		if c.inst.Quiet && r > 0 && deliveredTotal == 0 && pendingTotal == 0 && c.faultsQuiet() {
 			return c.harvest(nil)
 		}
 		c.rounds++
 		// Step barrier: everyone advances one round; events, halt
-		// counts and the next round's cross-shard sends come back.
+		// counts, the round's fault counts and the next round's
+		// cross-shard sends come back.
 		c.phaseStart("step-write", c.rounds)
 		if err := c.broadcast(frameStep, func(int) []byte { return nil }); err != nil {
 			return Result{}, err
@@ -590,6 +612,7 @@ func (c *coordinator) drive() (Result, error) {
 		var firstDone, lastDone int64
 		active := 0
 		c.halted = 0
+		var roundFaults faults.Counts
 		for i := range c.conns {
 			body, err := c.expect(i, frameStepped, deadline)
 			if err != nil {
@@ -605,9 +628,14 @@ func (c *coordinator) drive() (Result, error) {
 			}
 			c.shardRound[i] = c.rounds
 			active += reply.active
+			roundFaults.Add(reply.faults)
 			c.absorbReply(i, &reply)
 		}
-		c.roundEnd(deliveredTotal, active)
+		if c.plan != nil {
+			c.plan.AddCounts(roundFaults)
+			c.obsFaultRound(roundFaults)
+		}
+		c.roundEnd(deliveredTotal, active, roundFaults)
 		c.roundObs(lastDone - firstDone)
 		if deliveredCounter != nil {
 			deliveredCounter.Add(int64(deliveredTotal))
@@ -617,7 +645,81 @@ func (c *coordinator) drive() (Result, error) {
 	if c.halted == n {
 		return c.harvest(nil)
 	}
-	return Result{}, fmt.Errorf("transport: after %d rounds: %w", c.rounds, congest.ErrRoundLimit)
+	// Round-limit exits still harvest (mirroring Proc): fault-tolerant
+	// retry drivers inspect the partial output of a budget-exhausted
+	// attempt before deciding to retry.
+	res, herr := c.harvest(nil)
+	if herr != nil {
+		return Result{}, herr
+	}
+	return res, fmt.Errorf("transport: after %d rounds: %w", c.rounds, congest.ErrRoundLimit)
+}
+
+// fateWindow is the number of rounds one FATES frame covers. Windowed
+// shipping keeps frame size and fate-hash work proportional to the
+// rounds actually executed — workload round budgets (walks especially)
+// are orders of magnitude above typical completion, and a full-horizon
+// table would both waste that compute and breach maxFramePayload on
+// large graphs.
+const fateWindow = 64
+
+// shipFates extends every replica's fate-table coverage through the
+// round about to be delivered, when needed: probabilistic plans only
+// (crash/sever schedules replay from the spec's rules on each shard),
+// and only when the delivered round would leave the shipped window. If
+// a window's densest per-shard slice overflows the frame cap the window
+// halves until it fits — correctness only needs coverage of the next
+// round.
+func (c *coordinator) shipFates() error {
+	if c.plan == nil || !c.plan.Probabilistic() || c.rounds+1 < c.fatesEnd {
+		return nil
+	}
+	g := c.inst.Graph
+	start := c.fatesEnd
+	for window := fateWindow; ; window /= 2 {
+		end := start + window
+		full := faults.BuildFateTable(c.plan, start, end, 2*g.M())
+		bodies := make([][]byte, c.tcp.Shards)
+		fits := true
+		for i := range bodies {
+			lo, hi := c.bounds[i], c.bounds[i+1]
+			slice := full.Filter(func(slot int) bool {
+				e := g.Edge(slot / 2)
+				recv := e.U
+				if slot%2 == 1 {
+					recv = e.V
+				}
+				return recv >= lo && recv < hi
+			})
+			bodies[i] = faults.AppendFateTable(nil, slice)
+			if len(bodies[i]) > maxFramePayload {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			if window <= 1 {
+				return fmt.Errorf("transport: fate table for round %d exceeds frame cap", start)
+			}
+			continue
+		}
+		c.phaseStart("fates", start)
+		if err := c.broadcast(frameFates, func(i int) []byte { return bodies[i] }); err != nil {
+			return err
+		}
+		c.fatesEnd = end
+		return nil
+	}
+}
+
+// faultsQuiet mirrors congest.Network.faultsQuiet's recovery half: a
+// quiet round must not end the run while a crashed node is still due to
+// recover (through the recovery round itself — see the in-process
+// comment). The delayed-message half is the summed pending counts the
+// DELIVERED replies report.
+func (c *coordinator) faultsQuiet() bool {
+	return c.plan == nil ||
+		(!c.plan.RecoveringAt(c.rounds) && !c.plan.RecoveringAt(c.rounds+1))
 }
 
 // roundObs closes one round's telemetry: the cross-shard step skew and
@@ -708,9 +810,10 @@ func (c *coordinator) absorbProfile(shard int, d *deliveredReply) {
 }
 
 // roundEnd synthesizes the round's aggregated RoundRecord from the
-// collected profiles, field for field like congest.probeRoundFlush, and
-// resets the touched scratch.
-func (c *coordinator) roundEnd(delivered, active int) {
+// collected profiles, field for field like congest.probeRoundFlush —
+// including the round's fault counts summed over the STEPPED replies —
+// and resets the touched scratch.
+func (c *coordinator) roundEnd(delivered, active int, fc faults.Counts) {
 	p := c.opts.Probe
 	if p == nil {
 		return
@@ -723,6 +826,10 @@ func (c *coordinator) roundEnd(delivered, active int) {
 		MaxInboxNode: -1,
 		InboxSizes:   c.inboxSizes,
 		EdgeLoad:     c.edgeLoad,
+		Dropped:      int(fc.Dropped),
+		Duplicated:   int(fc.Duplicated),
+		Delayed:      int(fc.Delayed),
+		Crashed:      int(fc.Crashed),
 	}
 	for u, size := range c.inboxSizes {
 		if size > c.roundRec.MaxInbox {
@@ -755,6 +862,9 @@ func (c *coordinator) harvest(runErr error) (Result, error) {
 	}
 	deadline := time.Now().Add(c.tcp.timeout())
 	res := Result{Rounds: c.rounds}
+	if c.plan != nil {
+		res.Faults = c.plan.Totals()
+	}
 	var parts [][]byte
 	var final finalReply
 	for i := range c.conns {
@@ -821,14 +931,33 @@ func (c *coordinator) reap(killAll bool) {
 }
 
 // metricsStart registers the coordinator's instruments: the
-// deterministic congest counters the in-process engines also export,
-// plus the tcpnet traffic counters.
+// deterministic congest counters the in-process engines also export —
+// including the fault counters when a plan is attached, same names as
+// congest's metricsRunStart — plus the tcpnet traffic counters.
 func (c *coordinator) metricsStart() (delivered, rounds *metrics.Counter) {
 	reg := c.opts.Metrics
 	if reg == nil {
 		return nil, nil
 	}
+	if c.plan != nil {
+		c.fcDropped = reg.Counter("congest_msgs_dropped_total")
+		c.fcDuplicated = reg.Counter("congest_msgs_duplicated_total")
+		c.fcDelayed = reg.Counter("congest_msgs_delayed_total")
+		c.fcCrashed = reg.Counter("congest_node_crash_rounds_total")
+	}
 	return reg.Counter("congest_messages_delivered_total"), reg.Counter("congest_rounds_total")
+}
+
+// obsFaultRound folds one round's summed fault counts into the congest
+// fault counters (no-op without a metrics registry).
+func (c *coordinator) obsFaultRound(fc faults.Counts) {
+	if c.fcDropped == nil {
+		return
+	}
+	c.fcDropped.Add(fc.Dropped)
+	c.fcDuplicated.Add(fc.Duplicated)
+	c.fcDelayed.Add(fc.Delayed)
+	c.fcCrashed.Add(fc.Crashed)
 }
 
 // metricsEnd exports the run's wire telemetry: aggregate and per-shard
@@ -878,6 +1007,12 @@ func (c *coordinator) metricsEnd(reg *metrics.Registry, elapsed time.Duration) {
 		reg.Counter(fmt.Sprintf("tcpnet_shard_frames_total{shard=%d}", i)).Add(wt.SentFrames + wt.RecvFrames)
 		reg.Counter(fmt.Sprintf("tcpnet_shard_bytes_total{shard=%d}", i)).Add(wt.SentBytes + wt.RecvBytes)
 		reg.Counter(fmt.Sprintf("tcpnet_shard_flush_ns_total{shard=%d}", i)).Add(wt.FlushNS)
+		if wt.Faults.Any() {
+			reg.Counter(fmt.Sprintf("tcpnet_shard_msgs_dropped_total{shard=%d}", i)).Add(wt.Faults.Dropped)
+			reg.Counter(fmt.Sprintf("tcpnet_shard_msgs_duplicated_total{shard=%d}", i)).Add(wt.Faults.Duplicated)
+			reg.Counter(fmt.Sprintf("tcpnet_shard_msgs_delayed_total{shard=%d}", i)).Add(wt.Faults.Delayed)
+			reg.Counter(fmt.Sprintf("tcpnet_shard_node_crash_rounds_total{shard=%d}", i)).Add(wt.Faults.Crashed)
+		}
 	}
 	reg.Gauge("tcpnet_shards").Set(float64(c.tcp.Shards))
 }

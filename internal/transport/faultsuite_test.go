@@ -1,0 +1,453 @@
+package transport_test
+
+// The fault-over-wire differential suite: faulty executions must be
+// byte-identical between the in-process engines and the TCP backend.
+// The tentpole assertion replays internal/congest's committed fault
+// goldens (testdata/golden/faults-*.json) through the transport layer —
+// proc and tcp at shards 1, 2 and 4 — and requires the full golden
+// document (trace bytes, rounds, messages, fault totals) to reproduce
+// byte for byte. On top sit the retry stories: walks re-issue and
+// windowed-GHS recovery over real shard processes, including a
+// whole-shard crash-and-recover round, each pinned against its
+// in-process driver. Shards run as goroutines so the whole fate-table
+// handshake sits under the race detector.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/faults"
+	"almostmix/internal/graph"
+	"almostmix/internal/mstbase"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/transport"
+	"almostmix/internal/transport/workloads"
+)
+
+// goldenFaultProgram replicates internal/congest's goldenProgram
+// exactly (same RNG consumption, marks, staggered halting, per-port
+// duplication guard), so a transport run of the "goldenfault" workload
+// is the same execution the committed goldens pin.
+type goldenFaultProgram struct {
+	haltAt int
+	seen   int
+	sent   []bool
+}
+
+func (p *goldenFaultProgram) Init(ctx *congest.Ctx) {
+	p.sent = make([]bool, ctx.Degree())
+	ctx.Broadcast(ctx.ID())
+}
+
+func (p *goldenFaultProgram) Step(ctx *congest.Ctx, inbox []congest.Inbound) {
+	for i := range p.sent {
+		p.sent[i] = false
+	}
+	for _, in := range inbox {
+		v := in.Payload.(int)
+		p.seen += v
+		if ctx.Rand().IntN(4) != 0 && !p.sent[in.Port] {
+			p.sent[in.Port] = true
+			ctx.Send(in.Port, v+1)
+		}
+	}
+	if ctx.Round()%3 == 0 && ctx.Tracing() {
+		ctx.Mark(fmt.Sprintf("beat-%d", ctx.Round()/3))
+	}
+	if ctx.Round() >= p.haltAt {
+		ctx.Halt()
+	}
+}
+
+// goldenFaultScenarios mirror congest's golden fault scenarios; Value
+// selects the graph in buildGoldenFault since Gnp is not a BuildGraph
+// kind.
+var goldenFaultScenarios = []struct {
+	name      string
+	value     int
+	faultSpec string
+}{
+	{"faults-gnp24", 0, "drop=0.15,dup=0.1,delay=0.15:2,crash=3@4+5,sever=2@6"},
+	{"faults-star16", 1, "drop=0.1,dup=0.2,delay=0.1:3,crash=0@5+4"},
+	{"faults-rr32d4", 2, "drop=0.2,delay=0.2:1,sever=5@3,crash=7@2+6"},
+}
+
+func buildGoldenFault(spec transport.Spec) (*transport.Instance, error) {
+	var g *graph.Graph
+	switch spec.Value {
+	case 0:
+		g = graph.Gnp(24, 0.3, rngutil.NewRand(7))
+	case 1:
+		g = graph.Star(16)
+	case 2:
+		g = graph.RandomRegular(32, 4, rngutil.NewRand(9))
+	default:
+		return nil, fmt.Errorf("goldenfault: unknown scenario %d", spec.Value)
+	}
+	plan, err := spec.FaultPlan()
+	if err != nil {
+		return nil, err
+	}
+	programs := make([]congest.Program, g.N())
+	for v := range programs {
+		programs[v] = &goldenFaultProgram{haltAt: 12 + v%5}
+	}
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    rngutil.NewSource(spec.SrcSeed),
+		Faults:    plan,
+		MaxRounds: 40,
+	}, nil
+}
+
+func init() {
+	transport.Register(transport.Workload{
+		Name:  "goldenfault",
+		Build: buildGoldenFault,
+		Encode: func(buf []byte, m congest.Message) ([]byte, error) {
+			v, ok := m.(int)
+			if !ok {
+				return nil, fmt.Errorf("goldenfault: payload codec got %T", m)
+			}
+			return binary.AppendUvarint(buf, uint64(v)), nil
+		},
+		Decode: func(b []byte) (congest.Message, error) {
+			v, n := binary.Uvarint(b)
+			if n <= 0 || n != len(b) {
+				return nil, fmt.Errorf("goldenfault: malformed payload")
+			}
+			return int(v), nil
+		},
+	})
+}
+
+// goldenFaultDoc replicates congest's goldenDoc layout so the marshaled
+// bytes can be compared against the committed files directly.
+type goldenFaultDoc struct {
+	Trace    json.RawMessage `json:"trace"`
+	Rounds   int             `json:"rounds"`
+	Messages int             `json:"messages"`
+	Faults   faults.Counts   `json:"faults"`
+}
+
+// runGoldenFault executes one golden fault scenario on tr and returns
+// the serialized golden document, built exactly like congest's
+// runGolden.
+func runGoldenFault(t *testing.T, tr transport.Transport, value int, faultSpec string) []byte {
+	t.Helper()
+	sink := congest.NewTraceSink()
+	res, err := tr.Run(transport.Spec{
+		Workload:  "goldenfault",
+		Value:     value,
+		SrcSeed:   41,
+		FaultSpec: faultSpec,
+		FaultSeed: 99,
+	}, transport.Options{Probe: sink})
+	if err != nil {
+		t.Fatalf("%s run: %v", tr.Name(), err)
+	}
+	var trace bytes.Buffer
+	if err := sink.WriteJSON(&trace); err != nil {
+		t.Fatalf("trace export: %v", err)
+	}
+	buf, err := json.MarshalIndent(goldenFaultDoc{
+		Trace:    trace.Bytes(),
+		Rounds:   res.Rounds,
+		Messages: res.Messages,
+		Faults:   res.Faults,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf, '\n')
+}
+
+// TestGoldenFaultParityOverTCP is the tentpole assertion: the three
+// committed fault goldens reproduce byte for byte through the transport
+// layer — trace bytes, rounds, messages and fault totals — on proc and
+// on tcp at shards 1, 2 and 4.
+func TestGoldenFaultParityOverTCP(t *testing.T) {
+	for _, sc := range goldenFaultScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			want, err := os.ReadFile(filepath.Join("..", "congest", "testdata", "golden", sc.name+".json"))
+			if err != nil {
+				t.Fatalf("missing congest golden: %v", err)
+			}
+			if got := runGoldenFault(t, transport.Proc{Workers: 1}, sc.value, sc.faultSpec); !bytes.Equal(got, want) {
+				t.Fatalf("proc diverges from committed golden (%d vs %d bytes)", len(got), len(want))
+			}
+			for _, shards := range []int{1, 2, 4} {
+				tcp := transport.TCP{Shards: shards, Timeout: 30 * time.Second, Spawn: goroutineSpawner(nil)}
+				if got := runGoldenFault(t, tcp, sc.value, sc.faultSpec); !bytes.Equal(got, want) {
+					t.Errorf("tcp shards=%d diverges from committed golden (%d vs %d bytes)", shards, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestCrossShardFaultCountsSumToProc pins the counted-exactly-once
+// contract: a message crossing shards has its fate applied at the
+// receiving shard's delivery scan, never at Inject, so the per-shard
+// totals shipped back in TELEMETRY frames sum to the sequential
+// engine's totals field for field.
+func TestCrossShardFaultCountsSumToProc(t *testing.T) {
+	sc := goldenFaultScenarios[0] // gnp24: dense cross-shard traffic, all fate kinds
+	spec := transport.Spec{
+		Workload:  "goldenfault",
+		Value:     sc.value,
+		SrcSeed:   41,
+		FaultSpec: sc.faultSpec,
+		FaultSeed: 99,
+	}
+	procRes, err := transport.Proc{Workers: 1}.Run(spec, transport.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !procRes.Faults.Any() {
+		t.Fatal("proc run injected no faults; scenario is not exercising the counters")
+	}
+	for _, shards := range []int{2, 4} {
+		out := filepath.Join(t.TempDir(), "obs.json")
+		tcp := transport.TCP{Shards: shards, Timeout: 30 * time.Second, Spawn: goroutineSpawner(nil), ObsOut: out}
+		tcpRes, err := tcp.Run(spec, transport.Options{})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if tcpRes.Faults != procRes.Faults {
+			t.Errorf("shards=%d: coordinator totals %+v, proc %+v", shards, tcpRes.Faults, procRes.Faults)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := transport.ReadObs(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum faults.Counts
+		rows := 0
+		for _, ws := range doc.Wire {
+			if ws.Endpoint == "shard" {
+				sum.Add(ws.Faults)
+				rows++
+			} else if ws.Faults.Any() {
+				t.Errorf("shards=%d: coord wire row for shard %d carries fault counts %+v", shards, ws.Shard, ws.Faults)
+			}
+		}
+		if rows != shards {
+			t.Fatalf("shards=%d: %d shard telemetry rows", shards, rows)
+		}
+		if sum != procRes.Faults {
+			t.Errorf("shards=%d: per-shard fault totals sum to %+v, proc counted %+v — some fate applied twice or not at all",
+				shards, sum, procRes.Faults)
+		}
+	}
+}
+
+// faultTransports are the backends every retry-story test runs against.
+func faultTransports() []transport.Transport {
+	return []transport.Transport{
+		transport.Proc{Workers: 1},
+		transport.TCP{Shards: 2, Timeout: 30 * time.Second, Spawn: goroutineSpawner(nil)},
+		transport.TCP{Shards: 4, Timeout: 30 * time.Second, Spawn: goroutineSpawner(nil)},
+	}
+}
+
+// TestWalksFaultsMatchesInProcessDriver pins the transport-level walks
+// retry driver against randomwalk.RunNetworkFaults: identical arrival
+// placement, rounds, messages, attempts, re-issue and fault accounting
+// on proc and on tcp.
+func TestWalksFaultsMatchesInProcessDriver(t *testing.T) {
+	spec := transport.Spec{
+		Workload: "walks-faults", Graph: "rr", N: 32, D: 4, K: 1, Steps: 8,
+		Seed: 11, SrcSeed: 111,
+		FaultSpec: "drop=0.08,dup=0.05,delay=0.1:2", FaultSeed: 5,
+	}
+	const attempts = 8
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := randomwalk.RunNetworkFaults(g, randomwalk.UniformCountTimesDegree(g, spec.K), spec.Steps,
+		rngutil.NewSource(spec.SrcSeed), 1, spec.FaultSpec, spec.FaultSeed, attempts, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Reissued == 0 {
+		t.Fatal("in-process driver re-issued nothing; the scenario is not exercising the retry story")
+	}
+	if want.Lost != 0 {
+		t.Fatalf("in-process driver lost %d tokens within %d attempts", want.Lost, attempts)
+	}
+	for _, tr := range faultTransports() {
+		got, err := workloads.RunWalksFaults(tr, spec, transport.Options{}, attempts)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: faulty walk result diverges from in-process driver:\nwant %+v\ngot  %+v", tr.Name(), want, got)
+		}
+	}
+}
+
+// TestGHSFaultsMatchesInProcessDriver pins the transport-level GHS
+// retry driver against mstbase.GHSNetworkFaults: the recovered MST, the
+// accumulated rounds/iterations/attempts and the fault totals must be
+// identical on proc and on tcp.
+func TestGHSFaultsMatchesInProcessDriver(t *testing.T) {
+	spec := transport.Spec{
+		Workload: "ghs-faults", Graph: "rr", N: 24, D: 4,
+		Seed: 3, SrcSeed: 73, WeightSeed: 10,
+		FaultSpec: "drop=0.05,delay=0.1:2", FaultSeed: 9,
+	}
+	const attempts = 6
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mstbase.GHSNetworkFaults(g, rngutil.NewSource(spec.SrcSeed), 1,
+		spec.FaultSpec, spec.FaultSeed, attempts, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Recovered {
+		t.Fatalf("in-process driver did not recover the MST within %d attempts", attempts)
+	}
+	if !want.Faults.Any() {
+		t.Fatal("in-process driver injected no faults")
+	}
+	for _, tr := range faultTransports() {
+		got, err := workloads.RunGHSFaults(tr, spec, transport.Options{}, attempts)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: faulty GHS result diverges from in-process driver:\nwant %+v\ngot  %+v", tr.Name(), want, got)
+		}
+	}
+}
+
+// TestWholeShardCrashRecoversOverTCP is the killed-and-recovering-shard
+// story: every node of one shard crashes mid-run and recovers rounds
+// later, with probabilistic drops layered on top, over real shard
+// barriers. The run must complete with every token re-delivered and the
+// crash accounted at exactly crashed-nodes × crashed-rounds, identical
+// to the in-process driver.
+func TestWholeShardCrashRecoversOverTCP(t *testing.T) {
+	const n, shards = 24, 4
+	crashSpec := "drop=0.05," + workloads.CrashShardSpec(n, shards, 2, 3, 4)
+	spec := transport.Spec{
+		Workload: "walks-faults", Graph: "rr", N: n, D: 4, K: 1, Steps: 6,
+		Seed: 21, SrcSeed: 121,
+		FaultSpec: crashSpec, FaultSeed: 17,
+	}
+	// The crash schedule replays every attempt (each re-run crashes the
+	// shard again at round 3), so re-issued tokens keep braving the same
+	// window; 16 attempts deterministically drains this seed.
+	const attempts = 16
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := randomwalk.UniformCountTimesDegree(g, spec.K)
+	issued := 0
+	for _, c := range counts {
+		issued += c
+	}
+	want, err := randomwalk.RunNetworkFaults(g, counts, spec.Steps,
+		rngutil.NewSource(spec.SrcSeed), 1, spec.FaultSpec, spec.FaultSeed, attempts, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := transport.TCP{Shards: shards, Timeout: 30 * time.Second, Spawn: goroutineSpawner(nil)}
+	got, err := workloads.RunWalksFaults(tcp, spec, transport.Options{}, attempts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("whole-shard crash walk result diverges from in-process driver:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got.Lost != 0 {
+		t.Errorf("%d tokens lost across %d attempts", got.Lost, attempts)
+	}
+	arrived := 0
+	for _, c := range got.ArrivedAt {
+		arrived += c
+	}
+	if arrived != issued {
+		t.Errorf("%d of %d tokens arrived", arrived, issued)
+	}
+	// Shard 2 owns nodes [12, 18): 6 nodes crashed for 4 rounds in every
+	// attempt's replay of the schedule.
+	if wantCrash := int64(6 * 4 * got.Attempts); got.Faults.Crashed != wantCrash {
+		t.Errorf("crash node-rounds = %d over %d attempts, want %d", got.Faults.Crashed, got.Attempts, wantCrash)
+	}
+}
+
+// TestGHSRecoveryAfterShardCrashOverTCP runs the windowed-GHS recovery
+// story over real shard barriers with a crash-only plan (no FATES
+// frames: crash schedules replay from the spec on every replica) that
+// takes down a whole shard and brings it back. The oracle-validated MST
+// must come out identical to the in-process driver's.
+func TestGHSRecoveryAfterShardCrashOverTCP(t *testing.T) {
+	const n, shards = 16, 4
+	spec := transport.Spec{
+		Workload: "ghs-faults", Graph: "rr", N: n, D: 4,
+		Seed: 5, SrcSeed: 75, WeightSeed: 12,
+		FaultSpec: workloads.CrashShardSpec(n, shards, 1, 5, 6), FaultSeed: 23,
+	}
+	const attempts = 4
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mstbase.GHSNetworkFaults(g, rngutil.NewSource(spec.SrcSeed), 1,
+		spec.FaultSpec, spec.FaultSeed, attempts, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Recovered {
+		t.Fatalf("in-process driver did not recover the MST within %d attempts", attempts)
+	}
+	tcp := transport.TCP{Shards: shards, Timeout: 60 * time.Second, Spawn: goroutineSpawner(nil)}
+	got, err := workloads.RunGHSFaults(tcp, spec, transport.Options{}, attempts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("shard-crash GHS result diverges from in-process driver:\nwant %+v\ngot  %+v", want, got)
+	}
+	ref, err := mstbase.GHS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weight != ref.Weight {
+		t.Errorf("recovered MST weight %v, oracle %v", got.Weight, ref.Weight)
+	}
+}
+
+// TestPlainWorkloadsRejectFaultSpec pins the satellite contract: the
+// five fault-unaware workloads error out on a FaultSpec instead of
+// silently ignoring it, on both backends (the builder runs before any
+// network exists, so one code path serves both).
+func TestPlainWorkloadsRejectFaultSpec(t *testing.T) {
+	for _, spec := range suiteSpecs(1) {
+		spec.FaultSpec = "drop=0.1"
+		if _, err := (transport.Proc{Workers: 1}).Run(spec, transport.Options{}); err == nil {
+			t.Errorf("%s: fault spec accepted by a fault-unaware workload", spec.Workload)
+		}
+	}
+}

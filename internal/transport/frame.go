@@ -36,6 +36,7 @@ const (
 	frameFinish                    // coord → shard: run over, harvest
 	frameFinal                     // shard → coord: message count, Finish blob
 	frameTelemetry                 // shard → coord: JSON wireTelemetry (tallies + flight dump)
+	frameFates                     // coord → shard: fate-table window (faults.AppendFateTable)
 
 	// frameTypeCount sizes per-type tally arrays indexed by frame type.
 	frameTypeCount
@@ -55,6 +56,7 @@ var frameNames = [frameTypeCount]string{
 	frameFinish:    "FINISH",
 	frameFinal:     "FINAL",
 	frameTelemetry: "TELEMETRY",
+	frameFates:     "FATES",
 }
 
 // frameName names a frame type for telemetry and error attribution;
@@ -69,7 +71,10 @@ func frameName(typ byte) string {
 // wireVersion guards against coordinator/shard skew; bumped with any
 // incompatible protocol or codec change. Version 2 added the mandatory
 // TELEMETRY frame after FINAL and the flightrec field of the wire spec.
-const wireVersion = 2
+// Version 3 added faults over the wire: the spec's fault fields, FATES
+// fate-table windows, per-round fault counts on STEPPED, the pending
+// delayed count on DELIVERED, and the fault totals on TELEMETRY.
+const wireVersion = 3
 
 // maxFramePayload bounds a frame's payload. Generous — the largest
 // legitimate frame is a DELIVER batch, linear in a shard's boundary

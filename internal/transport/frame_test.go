@@ -11,6 +11,8 @@ import (
 	"io"
 	"testing"
 	"testing/iotest"
+
+	"almostmix/internal/faults"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -110,6 +112,53 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if !bytes.Equal(enc, data[:len(enc)]) {
 			t.Fatalf("re-encoded frame differs from input prefix")
+		}
+	})
+}
+
+// FuzzParseFateTable drives the FATES frame body parser with arbitrary
+// bytes: the shard side feeds it straight off the wire, so malformed
+// input must error — never panic or allocate unboundedly. Anything it
+// accepts must re-encode to a fixpoint (encode → parse → encode is
+// byte-stable; the input itself may use non-minimal varints) and answer
+// every in-window lookup without panicking. The corpus under
+// testdata/fuzz/FuzzParseFateTable pins the interesting shapes
+// alongside FuzzReadFrame's.
+func FuzzParseFateTable(f *testing.F) {
+	plan, err := faults.Parse("drop=0.2,dup=0.1,delay=0.2:3", 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(faults.AppendFateTable(nil, faults.BuildFateTable(plan, 1, 9, 24)))
+	f.Add(faults.AppendFateTable(nil, faults.BuildFateTable(faults.New(3), 5, 7, 8)))
+	f.Add([]byte{})                 // truncated start
+	f.Add([]byte{0, 1, 0})          // zero start round
+	f.Add([]byte{1, 200})           // window exceeding payload
+	f.Add([]byte{1, 1, 1, 0, 1})    // zero slot delta
+	f.Add([]byte{1, 1, 1, 1, 9})    // unknown fate
+	f.Add([]byte{1, 1, 1, 1, 3, 0}) // zero delay on a Delay fate
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := faults.ParseFateTable(data)
+		if err != nil {
+			return
+		}
+		enc := faults.AppendFateTable(nil, tab)
+		tab2, err := faults.ParseFateTable(enc)
+		if err != nil {
+			t.Fatalf("re-encoded accepted table rejected: %v", err)
+		}
+		if enc2 := faults.AppendFateTable(nil, tab2); !bytes.Equal(enc2, enc) {
+			t.Fatalf("encode → parse → encode not a fixpoint (%d vs %d bytes)", len(enc2), len(enc))
+		}
+		start, end := tab.Rounds()
+		for r := start; r < end && r < start+4; r++ {
+			for slot := 0; slot < 8; slot++ {
+				f1, d1 := tab.Lookup(r, slot)
+				f2, d2 := tab2.Lookup(r, slot)
+				if f1 != f2 || d1 != d2 {
+					t.Fatalf("lookup(%d, %d) diverges after round-trip", r, slot)
+				}
+			}
 		}
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"almostmix/internal/congest"
+	"almostmix/internal/faults"
 	"almostmix/internal/flightrec"
 )
 
@@ -45,6 +46,10 @@ type WireStats struct {
 	RecvByType map[string]int64 `json:"recv_by_type,omitempty"`
 	Flushes    int64            `json:"flushes"`
 	FlushNS    int64            `json:"flush_ns"`
+	// Faults holds shard rows' fault-event totals (events applied at the
+	// shard's owned receivers); always zero on coord rows, which count
+	// wire traffic only.
+	Faults faults.Counts `json:"faults,omitempty"`
 }
 
 // RoundSkew is one round's cross-shard step-barrier skew: the wall-time
@@ -199,5 +204,6 @@ func wireStatsShard(wt *wireTelemetry) WireStats {
 		RecvByType: wt.RecvByType,
 		Flushes:    wt.Flushes,
 		FlushNS:    wt.FlushNS,
+		Faults:     wt.Faults,
 	}
 }

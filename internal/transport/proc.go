@@ -7,6 +7,8 @@ package transport
 // directly, at zero added steady-state allocation.
 
 import (
+	"errors"
+
 	"almostmix/internal/congest"
 )
 
@@ -38,23 +40,31 @@ func (p Proc) Run(spec Spec, opts Options) (Result, error) {
 	net := congest.NewNetwork(inst.Graph, inst.Programs, inst.Source).
 		SetWorkers(workers).
 		SetProbe(opts.Probe).
-		SetMetrics(opts.Metrics)
+		SetMetrics(opts.Metrics).
+		SetFaults(inst.Faults)
 	var rounds int
 	if inst.Quiet {
 		rounds, err = net.RunUntilQuiet(inst.MaxRounds)
 	} else {
 		rounds, err = net.Run(inst.MaxRounds)
 	}
-	if err != nil {
+	// A round-limit exit still harvests: fault-tolerant retry drivers
+	// inspect the partial output (and totals) of a budget-exhausted
+	// attempt, exactly as the in-process drivers read program state after
+	// tolerating ErrRoundLimit. Other errors return nothing.
+	if err != nil && !errors.Is(err, congest.ErrRoundLimit) {
 		return Result{}, err
 	}
 	res := Result{Rounds: rounds, Messages: net.Messages()}
+	if inst.Faults != nil {
+		res.Faults = inst.Faults.Totals()
+	}
 	if inst.Finish != nil && inst.Merge != nil {
-		out, err := inst.Merge(inst.Graph, [][]byte{inst.Finish(0, inst.Graph.N())})
-		if err != nil {
-			return Result{}, err
+		out, merr := inst.Merge(inst.Graph, [][]byte{inst.Finish(0, inst.Graph.N())})
+		if merr != nil {
+			return Result{}, merr
 		}
 		res.Output = out
 	}
-	return res, nil
+	return res, err
 }

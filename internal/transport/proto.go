@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"almostmix/internal/faults"
 	"almostmix/internal/flightrec"
 )
 
@@ -41,7 +42,11 @@ type wireTelemetry struct {
 	RecvByType map[string]int64 `json:"recv_by_type,omitempty"`
 	Flushes    int64            `json:"flushes"`
 	FlushNS    int64            `json:"flush_ns"`
-	Dump       flightrec.Dump   `json:"flightrec"`
+	// Faults is the shard replica plan's accumulated totals — fault
+	// events applied at this shard's owned receivers (plus its owned
+	// crash node-rounds), so the per-shard values sum to the run totals.
+	Faults faults.Counts  `json:"faults,omitempty"`
+	Dump   flightrec.Dump `json:"flightrec"`
 }
 
 // telemetryFromTally builds the ship-back document from one endpoint's
@@ -239,10 +244,14 @@ func (c *cursor) sends(dst []wireSend) []wireSend {
 }
 
 // stepReply is the body of INITACK and STEPPED frames: what one shard
-// reports after running Init or one Step.
+// reports after running Init or one Step. The fault counts ride the
+// STEPPED reply — not DELIVERED — because the in-process engines drain
+// counts only for rounds that actually step: a quiet exit discards the
+// aborted deliver phase's counts, and the wire backend must agree.
 type stepReply struct {
 	active int // nodes that executed Step (0 for INITACK)
 	halted int // owned nodes halted, cumulative
+	faults faults.Counts
 	events []wireEvent
 	sends  []wireSend
 }
@@ -250,6 +259,10 @@ type stepReply struct {
 func appendStepReply(buf []byte, r *stepReply) []byte {
 	buf = binary.AppendUvarint(buf, uint64(r.active))
 	buf = binary.AppendUvarint(buf, uint64(r.halted))
+	buf = binary.AppendUvarint(buf, uint64(r.faults.Dropped))
+	buf = binary.AppendUvarint(buf, uint64(r.faults.Duplicated))
+	buf = binary.AppendUvarint(buf, uint64(r.faults.Delayed))
+	buf = binary.AppendUvarint(buf, uint64(r.faults.Crashed))
 	buf = appendEvents(buf, r.events)
 	return appendSends(buf, r.sends)
 }
@@ -258,23 +271,31 @@ func parseStepReply(b []byte, r *stepReply) error {
 	c := cursor{b: b}
 	r.active = int(c.uvarint("step active"))
 	r.halted = int(c.uvarint("step halted"))
+	r.faults.Dropped = int64(c.uvarint("step dropped"))
+	r.faults.Duplicated = int64(c.uvarint("step duplicated"))
+	r.faults.Delayed = int64(c.uvarint("step delayed"))
+	r.faults.Crashed = int64(c.uvarint("step crashed"))
 	r.events = c.events(r.events[:0])
 	r.sends = c.sends(r.sends[:0])
 	return c.done("step reply")
 }
 
 // deliveredReply is the body of a DELIVERED frame: the shard's total
-// plus, per owned node in ID order, the inbox size and the ports the
-// messages arrived on — exactly what the coordinator needs to rebuild
-// InboxSizes, EdgeLoad and the max-inbox fields of the RoundRecord.
+// and pending delayed-message count, plus, per owned node in ID order,
+// the inbox size and the ports the messages arrived on — exactly what
+// the coordinator needs to rebuild InboxSizes, EdgeLoad and the
+// max-inbox fields of the RoundRecord, and to extend the quiet check to
+// in-flight delayed messages.
 type deliveredReply struct {
 	delivered int
+	pending   int   // delayed messages still buffered for owned receivers
 	sizes     []int // one per owned node
 	ports     []int // concatenated arrival ports
 }
 
 func appendDeliveredReply(buf []byte, r *deliveredReply) []byte {
 	buf = binary.AppendUvarint(buf, uint64(r.delivered))
+	buf = binary.AppendUvarint(buf, uint64(r.pending))
 	pi := 0
 	for _, size := range r.sizes {
 		buf = binary.AppendUvarint(buf, uint64(size))
@@ -289,6 +310,7 @@ func appendDeliveredReply(buf []byte, r *deliveredReply) []byte {
 func parseDeliveredReply(b []byte, owned int, r *deliveredReply) error {
 	c := cursor{b: b}
 	r.delivered = int(c.uvarint("delivered total"))
+	r.pending = int(c.uvarint("delivered pending"))
 	r.sizes = r.sizes[:0]
 	r.ports = r.ports[:0]
 	for u := 0; u < owned && c.err == nil; u++ {

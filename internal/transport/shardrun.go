@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"almostmix/internal/congest"
+	"almostmix/internal/faults"
 	"almostmix/internal/flightrec"
 )
 
@@ -105,7 +106,13 @@ func ServeShard(conn net.Conn, shard int, cfg ShardConfig) error {
 		return err
 	}
 	lo, hi := shardBounds(inst.Graph.N(), ws.Shards, shard)
-	s, err := congest.NewShard(congest.NewNetwork(inst.Graph, inst.Programs, inst.Source), lo, hi)
+	net := congest.NewNetwork(inst.Graph, inst.Programs, inst.Source)
+	if inst.Faults != nil {
+		// The replica's plan replays crash/sever schedules from the spec;
+		// probabilistic fates arrive in FATES windows (AttachTable below).
+		net.SetFaults(inst.Faults)
+	}
+	s, err := congest.NewShard(net, lo, hi)
 	if err != nil {
 		return err
 	}
@@ -152,7 +159,9 @@ func (r *shardRuntime) loop() error {
 		switch typ {
 		case frameInit:
 			r.s.Init()
-			err = r.respondStep(frameInitAck, 0)
+			err = r.respondStep(frameInitAck, 0, faults.Counts{})
+		case frameFates:
+			err = r.attachFates(body)
 		case frameDeliver:
 			err = r.deliver(body)
 		case frameStep:
@@ -164,7 +173,11 @@ func (r *shardRuntime) loop() error {
 			if r.cfg.StallAtRound > 0 && r.steps >= r.cfg.StallAtRound {
 				select {} // hold the connection open, never reply
 			}
-			err = r.respondStep(frameStepped, r.s.Step())
+			active := r.s.Step()
+			// FaultCounts drains the round just stepped — the same point
+			// the in-process engines drain, so counts for a deliver phase
+			// aborted by a quiet exit are discarded identically.
+			err = r.respondStep(frameStepped, active, r.s.FaultCounts())
 		case frameFinish:
 			if err := r.finish(); err != nil {
 				return err
@@ -179,11 +192,27 @@ func (r *shardRuntime) loop() error {
 	}
 }
 
+// attachFates answers a FATES frame: parse the fate-table window and
+// attach it to the replica's plan, so MessageFate at the canonical
+// delivery point answers from the coordinator's authoritative rolls.
+func (r *shardRuntime) attachFates(body []byte) error {
+	if r.inst.Faults == nil {
+		return fmt.Errorf("transport: shard %d: FATES frame without a fault plan", r.shard)
+	}
+	t, err := faults.ParseFateTable(body)
+	if err != nil {
+		return fmt.Errorf("transport: shard %d: %w", r.shard, err)
+	}
+	r.inst.Faults.AttachTable(t)
+	return nil
+}
+
 // respondStep answers INIT or STEP: drain owned events in canonical
 // order, enumerate the owned sends that leave the shard, report the
-// cumulative halt count.
-func (r *shardRuntime) respondStep(typ byte, active int) error {
+// cumulative halt count and the round's drained fault counts.
+func (r *shardRuntime) respondStep(typ byte, active int, fc faults.Counts) error {
 	r.reply.active = active
+	r.reply.faults = fc
 	r.reply.halted = r.s.HaltedCount()
 	r.reply.events = r.reply.events[:0]
 	r.s.DrainEvents(
@@ -237,6 +266,7 @@ func (r *shardRuntime) deliver(body []byte) error {
 		}
 	}
 	r.prof.delivered = r.s.Deliver()
+	r.prof.pending = r.s.PendingDelayed()
 	r.prof.sizes = r.prof.sizes[:0]
 	r.prof.ports = r.prof.ports[:0]
 	lo, hi := r.s.Nodes()
@@ -268,6 +298,9 @@ func (r *shardRuntime) finish() error {
 		return err
 	}
 	wt := telemetryFromTally(r.shard, &r.fc.tally, r.rec.Dump(flightrec.ReasonFinish))
+	if r.inst.Faults != nil {
+		wt.Faults = r.inst.Faults.Totals()
+	}
 	body, err := json.Marshal(wt)
 	if err != nil {
 		return fmt.Errorf("transport: shard %d: encoding telemetry: %w", r.shard, err)

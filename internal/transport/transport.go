@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"almostmix/internal/congest"
+	"almostmix/internal/faults"
 	"almostmix/internal/graph"
 	"almostmix/internal/metrics"
 	"almostmix/internal/rngutil"
@@ -49,6 +50,30 @@ type Spec struct {
 	Seed       uint64 `json:"seed"`
 	SrcSeed    uint64 `json:"src_seed"`
 	WeightSeed uint64 `json:"weight_seed,omitempty"`
+
+	// FaultSpec/FaultSeed describe the fault plan (faults.Parse syntax;
+	// FaultSeed is the plan's seed, used raw). Retry is the fault-aware
+	// workloads' attempt index: it offsets the program RNG stream
+	// (Child("…-retry", Retry)) exactly like the in-process retry
+	// drivers, never the fault seed — callers derive per-attempt fault
+	// seeds themselves and place the result in FaultSeed. WalkCounts and
+	// WalkSeqBase carry the walks re-issue state between attempts.
+	FaultSpec   string `json:"fault_spec,omitempty"`
+	FaultSeed   uint64 `json:"fault_seed,omitempty"`
+	Retry       int    `json:"retry,omitempty"`
+	WalkCounts  []int  `json:"walk_counts,omitempty"`
+	WalkSeqBase []int  `json:"walk_seq_base,omitempty"`
+}
+
+// FaultPlan materializes the spec's fault plan: nil with no FaultSpec,
+// else the plan every process of the run parses identically —
+// deterministic in (FaultSpec, FaultSeed) alone, like BuildGraph is in
+// the graph fields.
+func (s Spec) FaultPlan() (*faults.Plan, error) {
+	if s.FaultSpec == "" {
+		return nil, nil
+	}
+	return faults.Parse(s.FaultSpec, s.FaultSeed)
 }
 
 // BuildGraph rebuilds the spec's graph: deterministic in the spec alone,
@@ -83,6 +108,11 @@ type Instance struct {
 	Graph    *graph.Graph
 	Programs []congest.Program
 	Source   *rngutil.Source
+	// Faults is the instance's fault plan, nil for fault-free runs. A
+	// fault-aware workload builds it from the spec (FaultPlan) so every
+	// process holds an identical plan; backends attach it to their
+	// networks before running and harvest its totals into Result.Faults.
+	Faults *faults.Plan
 	// MaxRounds is the round budget; Quiet selects RunUntilQuiet-style
 	// termination (stop after the first round ≥ 1 that delivers nothing).
 	MaxRounds int
@@ -146,11 +176,14 @@ type Options struct {
 }
 
 // Result is the backend-independent outcome of a run. Output is the
-// workload's Merge value (nil when the workload defines none).
+// workload's Merge value (nil when the workload defines none); Faults
+// holds the plan's accumulated injected-event totals (zero for
+// fault-free runs), identical across backends for one spec.
 type Result struct {
 	Rounds   int
 	Messages int
 	Output   any
+	Faults   faults.Counts
 }
 
 // Transport executes workload specs. Implementations must satisfy the

@@ -1,0 +1,218 @@
+package workloads
+
+// Transport-level retry drivers for the fault-aware workloads. Each
+// mirrors its in-process counterpart exactly — RunWalksFaults is
+// randomwalk.RunNetworkFaults with tr.Run as the attempt executor,
+// RunGHSFaults is mstbase.GHSNetworkFaults — so running them over Proc
+// reproduces the in-process drivers bit-for-bit, and running them over
+// TCP reproduces Proc (the differential suite's fault legs assert
+// both). The cross-attempt state travels in the Spec: the derived
+// per-attempt fault seed in FaultSeed, the attempt index in Retry
+// (offsetting the program RNG stream only), and for walks the re-issue
+// counts and sequence bases in WalkCounts/WalkSeqBase.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"almostmix/internal/congest"
+	"almostmix/internal/mstbase"
+	"almostmix/internal/randomwalk"
+	"almostmix/internal/rngutil"
+	"almostmix/internal/transport"
+)
+
+// RunWalksFaults runs the walks-faults workload over tr for up to
+// maxAttempts attempts (maxAttempts < 1 means 1), re-issuing tokens
+// lost to faults exactly like randomwalk.RunNetworkFaults: tokens are
+// identified by (origin, sequence), an attempt runs until the network
+// falls silent, and every issued token not absorbed by then is
+// re-issued from its origin with a fresh sequence number. Spec's
+// Workload/Retry/WalkCounts/WalkSeqBase fields are owned by the driver
+// and overwritten; FaultSeed seeds the per-attempt derivation.
+func RunWalksFaults(tr transport.Transport, spec transport.Spec, opts transport.Options, maxAttempts int) (*randomwalk.FaultyWalkResult, error) {
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Steps < 0 {
+		return nil, fmt.Errorf("workloads: walks-faults needs steps ≥ 0, got %d", spec.Steps)
+	}
+	counts := spec.WalkCounts
+	if counts == nil {
+		if spec.K < 1 {
+			return nil, fmt.Errorf("workloads: walks-faults needs k ≥ 1 walks per degree (or explicit walk_counts), got %d", spec.K)
+		}
+		counts = randomwalk.UniformCountTimesDegree(g, spec.K)
+	} else if len(counts) != g.N() {
+		return nil, fmt.Errorf("workloads: walks-faults got %d walk_counts for %d nodes", len(counts), g.N())
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	faultSrc := rngutil.NewSource(spec.FaultSeed)
+
+	res := &randomwalk.FaultyWalkResult{}
+	res.ArrivedAt = make([]int, g.N())
+
+	// outstanding tracks every issued-but-unabsorbed token; issue[v] and
+	// seqBase[v] describe the tokens node v injects on the next attempt —
+	// the same bookkeeping as RunNetworkFaults, shipped through the spec.
+	outstanding := make(map[randomwalk.WalkTokenID]struct{})
+	nextSeq := make([]int, g.N())
+	issue := make([]int, g.N())
+	for v, c := range counts {
+		issue[v] = c
+		for s := 0; s < c; s++ {
+			outstanding[randomwalk.WalkTokenID{Origin: int32(v), Seq: int32(s)}] = struct{}{}
+		}
+		nextSeq[v] = c
+	}
+
+	for attempt := 0; attempt < maxAttempts && len(outstanding) > 0; attempt++ {
+		seqBase := make([]int, g.N())
+		for v := range issue {
+			seqBase[v] = nextSeq[v] - issue[v]
+		}
+		aspec := spec
+		aspec.Workload = "walks-faults"
+		aspec.FaultSeed = faultSrc.Derive("attempt", uint64(attempt))
+		aspec.Retry = attempt
+		aspec.WalkCounts = append([]int(nil), issue...)
+		aspec.WalkSeqBase = seqBase
+		run, err := tr.Run(aspec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: walks-faults attempt %d: %w", attempt, err)
+		}
+		out, ok := run.Output.(WalksFaultsOutput)
+		if !ok {
+			return nil, fmt.Errorf("workloads: walks-faults attempt %d returned %T", attempt, run.Output)
+		}
+		res.Rounds += run.Rounds
+		res.Messages += run.Messages
+		res.Faults.Add(run.Faults)
+		res.Attempts++
+
+		// Reconcile: first absorption of an outstanding token counts;
+		// duplicate arrivals of already-settled tokens are ignored.
+		for v, ids := range out.Absorbed {
+			for _, id := range ids {
+				if _, open := outstanding[id]; open {
+					delete(outstanding, id)
+					res.ArrivedAt[v]++
+				}
+			}
+		}
+		// Whatever is still outstanding was lost: re-issue it from its
+		// origin on the next attempt under fresh sequence numbers.
+		for v := range issue {
+			issue[v] = 0
+		}
+		for id := range outstanding {
+			issue[id.Origin]++
+		}
+		if len(outstanding) == 0 || attempt+1 == maxAttempts {
+			continue // loop condition ends the run; Lost reads outstanding
+		}
+		fresh := make(map[randomwalk.WalkTokenID]struct{}, len(outstanding))
+		for v, c := range issue {
+			for s := 0; s < c; s++ {
+				fresh[randomwalk.WalkTokenID{Origin: int32(v), Seq: int32(nextSeq[v] + s)}] = struct{}{}
+			}
+			nextSeq[v] += c
+		}
+		res.Reissued += len(outstanding)
+		outstanding = fresh
+	}
+	res.Lost = len(outstanding)
+	return res, nil
+}
+
+// RunGHSFaults runs the ghs-faults workload over tr for up to
+// maxAttempts attempts (maxAttempts < 1 means 1), restarting from
+// scratch exactly like mstbase.GHSNetworkFaults: each attempt's merged
+// edge set is validated against the centralized GHS oracle, a
+// round-limited attempt is still checked (its harvest may hold the
+// MST), and a failed attempt reruns with a derived fault seed and a
+// Retry-offset program RNG. Spec's Workload/Retry fields are owned by
+// the driver; FaultSeed seeds the per-attempt derivation.
+func RunGHSFaults(tr transport.Transport, spec transport.Spec, opts transport.Options, maxAttempts int) (*mstbase.FaultyMSTResult, error) {
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	ref, err := mstbase.GHS(g)
+	if err != nil {
+		return nil, err
+	}
+	want := append([]int(nil), ref.Edges...)
+	sort.Ints(want)
+
+	faultSrc := rngutil.NewSource(spec.FaultSeed)
+	window := 3*g.N() + 6
+	res := &mstbase.FaultyMSTResult{}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		aspec := spec
+		aspec.Workload = "ghs-faults"
+		aspec.FaultSeed = faultSrc.Derive("attempt", uint64(attempt))
+		aspec.Retry = attempt
+		run, rerr := tr.Run(aspec, opts)
+		// A round-limited attempt is not necessarily a failure: the
+		// backends harvest it (partial output and totals included) and the
+		// oracle check, not the error, decides. Anything else is fatal.
+		if rerr != nil && !errors.Is(rerr, congest.ErrRoundLimit) {
+			return nil, fmt.Errorf("workloads: ghs-faults attempt %d: %w", attempt, rerr)
+		}
+		out, ok := run.Output.(MSTOutput)
+		if !ok {
+			return nil, fmt.Errorf("workloads: ghs-faults attempt %d returned %T", attempt, run.Output)
+		}
+		res.Rounds += run.Rounds
+		res.Iterations += (run.Rounds + window - 1) / window
+		res.Faults.Add(run.Faults)
+		res.Attempts++
+
+		got := append([]int(nil), out.Edges...)
+		sort.Ints(got)
+		if intsEqual(got, want) {
+			res.Recovered = true
+			res.Edges = got
+			res.Weight = g.TotalWeight(got)
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashShardSpec builds a fault-spec clause crashing every node of
+// shard i (of shards over n nodes) at round at, recovering after dur
+// rounds — the "kill a whole shard and let it come back" scenario the
+// TCP fault suite runs end-to-end. Compose with other clauses by
+// joining with commas.
+func CrashShardSpec(n, shards, i, at, dur int) string {
+	lo, hi := i*n/shards, (i+1)*n/shards // the TCP backend's shard layout
+	spec := ""
+	for v := lo; v < hi; v++ {
+		if spec != "" {
+			spec += ","
+		}
+		spec += fmt.Sprintf("crash=%d@%d+%d", v, at, dur)
+	}
+	return spec
+}

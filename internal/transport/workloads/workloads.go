@@ -1,9 +1,17 @@
 // Package workloads registers the canonical transport workloads —
-// ticker, bfs, broadcast, ghs, walks — with internal/transport. Each is
-// a pure function of its Spec: the graph, programs, RNG streams and
-// payload codecs are rebuilt identically on every process of a TCP run,
-// and the in-process backends build through the same path, which is
-// what the differential suite's byte-equality assertions rest on.
+// ticker, bfs, broadcast, ghs, walks, plus the fault-aware walks-faults
+// and ghs-faults — with internal/transport. Each is a pure function of
+// its Spec: the graph, programs, RNG streams, fault plan and payload
+// codecs are rebuilt identically on every process of a TCP run, and the
+// in-process backends build through the same path, which is what the
+// differential suite's byte-equality assertions rest on.
+//
+// Only the fault-aware workloads accept a FaultSpec: the plain five
+// reject one instead of silently ignoring it, because their programs
+// carry no retry identity and their budgets no fault slack. The
+// fault-aware workloads describe ONE attempt each; RunWalksFaults and
+// RunGHSFaults (faultrun.go) add the cross-attempt retry story on top,
+// mirroring the in-process drivers exactly.
 //
 // Import for side effects from binaries and tests that resolve
 // workloads by name.
@@ -48,6 +56,15 @@ type WalksOutput struct {
 	Arrived int
 }
 
+// WalksFaultsOutput is the merged outcome of one "walks-faults" attempt:
+// the identities of every token absorbed this attempt, indexed by the
+// absorbing node. RunWalksFaults reconciles them against its outstanding
+// set; arrivals are len(Absorbed[v]) minus duplicate deliveries of
+// already-settled tokens, which only the driver can tell apart.
+type WalksFaultsOutput struct {
+	Absorbed [][]randomwalk.WalkTokenID
+}
+
 func init() {
 	transport.Register(transport.Workload{
 		Name:   "ticker",
@@ -79,12 +96,38 @@ func init() {
 		Encode: randomwalk.EncodeWalkPayload,
 		Decode: randomwalk.DecodeWalkPayload,
 	})
+	transport.Register(transport.Workload{
+		Name:   "walks-faults",
+		Build:  buildWalksFaults,
+		Encode: randomwalk.EncodeWalkPayload,
+		Decode: randomwalk.DecodeWalkPayload,
+	})
+	transport.Register(transport.Workload{
+		Name:   "ghs-faults",
+		Build:  buildGHSFaults,
+		Encode: mstbase.EncodeGHSPayload,
+		Decode: mstbase.DecodeGHSPayload,
+	})
+}
+
+// noFaults rejects a FaultSpec on a workload that cannot honor one —
+// the plain workloads' programs carry no retry identity and their
+// budgets no fault slack, so ignoring the spec would silently change
+// its meaning.
+func noFaults(spec transport.Spec, name string) error {
+	if spec.FaultSpec != "" {
+		return fmt.Errorf("workloads: %s does not take a fault spec (fault-aware workloads: walks-faults, ghs-faults)", name)
+	}
+	return nil
 }
 
 // buildTicker: every node broadcasts Tick for Steps rounds, then halts.
 // No output beyond rounds/messages — the minimal workload the framing
 // and lifecycle tests lean on.
 func buildTicker(spec transport.Spec) (*transport.Instance, error) {
+	if err := noFaults(spec, "ticker"); err != nil {
+		return nil, err
+	}
 	g, err := transport.BuildGraph(spec)
 	if err != nil {
 		return nil, err
@@ -105,6 +148,9 @@ func buildTicker(spec transport.Spec) (*transport.Instance, error) {
 }
 
 func buildBFS(spec transport.Spec) (*transport.Instance, error) {
+	if err := noFaults(spec, "bfs"); err != nil {
+		return nil, err
+	}
 	g, err := transport.BuildGraph(spec)
 	if err != nil {
 		return nil, err
@@ -147,6 +193,9 @@ func buildBFS(spec transport.Spec) (*transport.Instance, error) {
 }
 
 func buildBroadcast(spec transport.Spec) (*transport.Instance, error) {
+	if err := noFaults(spec, "broadcast"); err != nil {
+		return nil, err
+	}
 	g, err := transport.BuildGraph(spec)
 	if err != nil {
 		return nil, err
@@ -185,6 +234,9 @@ func buildBroadcast(spec transport.Spec) (*transport.Instance, error) {
 }
 
 func buildGHS(spec transport.Spec) (*transport.Instance, error) {
+	if err := noFaults(spec, "ghs"); err != nil {
+		return nil, err
+	}
 	if spec.WeightSeed == 0 {
 		return nil, fmt.Errorf("workloads: ghs needs a nonzero weight_seed (distinct edge weights)")
 	}
@@ -201,45 +253,56 @@ func buildGHS(spec transport.Spec) (*transport.Instance, error) {
 		Programs:  programs,
 		Source:    rngutil.NewSource(spec.SrcSeed),
 		MaxRounds: maxRounds,
-		Finish: func(lo, hi int) []byte {
-			edges := mstbase.GHSChosenEdges(programs, lo, hi)
-			buf := binary.AppendUvarint(nil, uint64(len(edges)))
-			for _, e := range edges {
-				buf = binary.AppendUvarint(buf, uint64(e))
-			}
-			return buf
-		},
-		// First-seen dedup over the shard-ordered streams reproduces
-		// GHSNetworkObserved's edge list exactly.
-		Merge: func(g *graph.Graph, parts [][]byte) (any, error) {
-			out := MSTOutput{}
-			seen := make(map[int]bool)
-			for _, part := range parts {
-				count, rest, err := uvarint(part, "ghs edge count")
-				if err != nil {
-					return nil, err
-				}
-				for j := uint64(0); j < count; j++ {
-					var e uint64
-					if e, rest, err = uvarint(rest, "ghs edge id"); err != nil {
-						return nil, err
-					}
-					if id := int(e); !seen[id] {
-						seen[id] = true
-						out.Edges = append(out.Edges, id)
-					}
-				}
-				if len(rest) != 0 {
-					return nil, fmt.Errorf("workloads: %d trailing bytes in ghs part", len(rest))
-				}
-			}
-			out.Weight = g.TotalWeight(out.Edges)
-			return out, nil
-		},
+		Finish:    ghsFinish(programs),
+		Merge:     ghsMerge,
 	}, nil
 }
 
+// ghsFinish ships the owned nodes' chosen MST edge IDs: a count then
+// the IDs, per-node emission order kept. Shared by ghs and ghs-faults.
+func ghsFinish(programs []congest.Program) func(lo, hi int) []byte {
+	return func(lo, hi int) []byte {
+		edges := mstbase.GHSChosenEdges(programs, lo, hi)
+		buf := binary.AppendUvarint(nil, uint64(len(edges)))
+		for _, e := range edges {
+			buf = binary.AppendUvarint(buf, uint64(e))
+		}
+		return buf
+	}
+}
+
+// ghsMerge combines the shard-ordered chosen-edge streams. First-seen
+// dedup reproduces GHSNetworkObserved's edge list exactly.
+func ghsMerge(g *graph.Graph, parts [][]byte) (any, error) {
+	out := MSTOutput{}
+	seen := make(map[int]bool)
+	for _, part := range parts {
+		count, rest, err := uvarint(part, "ghs edge count")
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < count; j++ {
+			var e uint64
+			if e, rest, err = uvarint(rest, "ghs edge id"); err != nil {
+				return nil, err
+			}
+			if id := int(e); !seen[id] {
+				seen[id] = true
+				out.Edges = append(out.Edges, id)
+			}
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("workloads: %d trailing bytes in ghs part", len(rest))
+		}
+	}
+	out.Weight = g.TotalWeight(out.Edges)
+	return out, nil
+}
+
 func buildWalks(spec transport.Spec) (*transport.Instance, error) {
+	if err := noFaults(spec, "walks"); err != nil {
+		return nil, err
+	}
 	g, err := transport.BuildGraph(spec)
 	if err != nil {
 		return nil, err
@@ -275,6 +338,148 @@ func buildWalks(spec transport.Spec) (*transport.Instance, error) {
 			}
 			return res, nil
 		},
+	}, nil
+}
+
+// buildWalksFaults materializes ONE attempt of a faulty walk run,
+// exactly as randomwalk.RunNetworkFaults builds its per-attempt
+// network: WalkCounts tokens per node (default k·deg like "walks"),
+// sequence numbers from WalkSeqBase (default 0), the walk RNG offset by
+// Retry, and the fault plan from (FaultSpec, FaultSeed). The Finish
+// blob ships the absorbed token identities per owned node —
+// RunWalksFaults reconciles them and drives the next attempt.
+func buildWalksFaults(spec transport.Spec) (*transport.Instance, error) {
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Steps < 0 {
+		return nil, fmt.Errorf("workloads: walks-faults needs steps ≥ 0, got %d", spec.Steps)
+	}
+	counts := spec.WalkCounts
+	if counts == nil {
+		if spec.K < 1 {
+			return nil, fmt.Errorf("workloads: walks-faults needs k ≥ 1 walks per degree (or explicit walk_counts), got %d", spec.K)
+		}
+		counts = randomwalk.UniformCountTimesDegree(g, spec.K)
+	} else if len(counts) != g.N() {
+		return nil, fmt.Errorf("workloads: walks-faults got %d walk_counts for %d nodes", len(counts), g.N())
+	}
+	seqBase := spec.WalkSeqBase
+	if seqBase == nil {
+		seqBase = make([]int, g.N())
+	} else if len(seqBase) != g.N() {
+		return nil, fmt.Errorf("workloads: walks-faults got %d walk_seq_base values for %d nodes", len(seqBase), g.N())
+	}
+	plan, err := spec.FaultPlan()
+	if err != nil {
+		return nil, fmt.Errorf("workloads: walks-faults: %w", err)
+	}
+	programs, _, absorbed := randomwalk.WalkFaultPrograms(g, counts, seqBase, spec.Steps)
+	src := rngutil.NewSource(spec.SrcSeed)
+	if spec.Retry > 0 {
+		src = src.Child("walk-retry", uint64(spec.Retry))
+	}
+	issuing := 0
+	for _, c := range counts {
+		issuing += c
+	}
+	budget := issuing*spec.Steps + 4
+	if plan != nil {
+		budget += spec.Steps*plan.MaxDelay() + plan.RecoverySlack()
+	}
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    src,
+		Faults:    plan,
+		MaxRounds: budget,
+		Quiet:     true,
+		Finish: func(lo, hi int) []byte {
+			var buf []byte
+			for v := lo; v < hi; v++ {
+				buf = binary.AppendUvarint(buf, uint64(len(absorbed[v])))
+				for _, id := range absorbed[v] {
+					buf = binary.AppendUvarint(buf, uint64(id.Origin))
+					buf = binary.AppendUvarint(buf, uint64(id.Seq))
+				}
+			}
+			return buf
+		},
+		// Shard blobs arrive in node order, so the per-node records simply
+		// concatenate across parts; each part must end on a record boundary.
+		Merge: func(g *graph.Graph, parts [][]byte) (any, error) {
+			out := WalksFaultsOutput{Absorbed: make([][]randomwalk.WalkTokenID, g.N())}
+			v := 0
+			for _, part := range parts {
+				for len(part) > 0 {
+					if v >= g.N() {
+						return nil, fmt.Errorf("workloads: walks-faults absorbed records beyond %d nodes", g.N())
+					}
+					count, rest, err := uvarint(part, "walks-faults absorbed count")
+					if err != nil {
+						return nil, err
+					}
+					part = rest
+					for j := uint64(0); j < count; j++ {
+						var origin, seq uint64
+						if origin, part, err = uvarint(part, "walks-faults token origin"); err != nil {
+							return nil, err
+						}
+						if seq, part, err = uvarint(part, "walks-faults token seq"); err != nil {
+							return nil, err
+						}
+						out.Absorbed[v] = append(out.Absorbed[v], randomwalk.WalkTokenID{Origin: int32(origin), Seq: int32(seq)})
+					}
+					v++
+				}
+			}
+			if v != g.N() {
+				return nil, fmt.Errorf("workloads: walks-faults absorbed records for %d of %d nodes", v, g.N())
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// buildGHSFaults materializes ONE attempt of a faulty GHS run, exactly
+// as mstbase.GHSNetworkFaults builds its per-attempt network: the
+// defensive program variant when the plan has any rule, the GHS RNG
+// offset by Retry, and the stretched round budget. Output is MSTOutput
+// like "ghs"; RunGHSFaults checks it against the oracle and drives
+// retries.
+func buildGHSFaults(spec transport.Spec) (*transport.Instance, error) {
+	if spec.WeightSeed == 0 {
+		return nil, fmt.Errorf("workloads: ghs-faults needs a nonzero weight_seed (distinct edge weights)")
+	}
+	g, err := transport.BuildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("workloads: ghs-faults needs a connected graph")
+	}
+	plan, err := spec.FaultPlan()
+	if err != nil {
+		return nil, fmt.Errorf("workloads: ghs-faults: %w", err)
+	}
+	faulty := plan != nil && !plan.Empty()
+	programs, budget := mstbase.GHSFaultPrograms(g, faulty)
+	if faulty {
+		budget += plan.MaxDelay() + plan.RecoverySlack()
+	}
+	src := rngutil.NewSource(spec.SrcSeed)
+	if spec.Retry > 0 {
+		src = src.Child("ghs-retry", uint64(spec.Retry))
+	}
+	return &transport.Instance{
+		Graph:     g,
+		Programs:  programs,
+		Source:    src,
+		Faults:    plan,
+		MaxRounds: budget,
+		Finish:    ghsFinish(programs),
+		Merge:     ghsMerge,
 	}, nil
 }
 

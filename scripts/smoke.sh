@@ -198,9 +198,9 @@ expect_reject "mincut unwritable -pprofout" "$bin/mincut" -pprof cpu -pprofout /
 expect_reject "walks -transport bogus" "$bin/walks" -transport bogus
 expect_reject "walks -shards 0" "$bin/walks" -shards 0
 expect_reject "walks bad -listen" "$bin/walks" -transport tcp -listen not-a-hostport
-expect_reject "walks tcp with faults" "$bin/walks" -transport tcp -faults 'drop=0.1'
+expect_reject "walks proc with -obsout" "$bin/walks" -obsout "$out/never.json"
 expect_reject "mst -transport bogus" "$bin/mst" -transport bogus
-expect_reject "mst tcp with faults" "$bin/mst" -quick -transport tcp -faults 'drop=0.1'
+expect_reject "mst proc with -obsout" "$bin/mst" -quick -obsout "$out/never.json"
 expect_reject "routing -phi 0" "$bin/routing" -decomp -phi 0
 expect_reject "routing -phi 1.5" "$bin/routing" -decomp -phi 1.5
 expect_reject "mst -decomp -phi 1" "$bin/mst" -decomp -phi 1
@@ -248,6 +248,21 @@ if ! cmp -s "$out/walks-proc-par.json" "$out/walks-tcp-par.json"; then
 	exit 1
 fi
 echo "smoke: E17 TCP/proc trace parity ok"
+
+# E20: faults over the wire. -faults with -transport=tcp — rejected
+# before the fate-table handshake — must now run the E15 sweep on real
+# shard processes and stay trace-for-trace identical to the in-process
+# engine, coordinator-shipped fate windows and all.
+"$bin/walks" -n 48 -d 6 -steps 10 -faults 'drop=0.05' \
+	-trace "$out/walks-e20-proc.json" >/dev/null
+"$bin/walks" -n 48 -d 6 -steps 10 -faults 'drop=0.05' -transport tcp -shards 2 \
+	-trace "$out/walks-e20-tcp.json" >/dev/null
+if ! cmp -s "$out/walks-e20-proc.json" "$out/walks-e20-tcp.json"; then
+	echo "smoke: faulty TCP run's trace diverges from the in-process engine" >&2
+	exit 1
+fi
+"$bin/mst" -quick -faults 'drop=0.01' -transport tcp -shards 2 >/dev/null
+echo "smoke: E20 faulty TCP/proc trace parity ok"
 
 # E19: distributed-run observability. A clean real-process tcp run with
 # -obsout must leave a schema-valid merged document (both sides' flight
